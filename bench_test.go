@@ -1,0 +1,163 @@
+// Repository-level benchmarks: one per experiment (E1..E12, the tables
+// and figure-series of the evaluation — see DESIGN.md §4) plus
+// throughput benchmarks for the pipeline and each baseline. Regenerate
+// everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks run at Quick scale so the whole suite stays
+// in CI territory; the recorded full-scale tables live in EXPERIMENTS.md
+// and are regenerated with cmd/mobibench.
+package mobipriv_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"mobipriv"
+	"mobipriv/internal/baseline/geoind"
+	"mobipriv/internal/baseline/w4m"
+	"mobipriv/internal/core"
+	"mobipriv/internal/experiment"
+	"mobipriv/internal/mixzone"
+	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiment.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := e.Run(experiment.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := table.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_Figure1(b *testing.B)          { benchExperiment(b, "E1") }
+func BenchmarkE2_POIRetrieval(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3_GeoIRecall(b *testing.B)       { benchExperiment(b, "E3") }
+func BenchmarkE4_Distortion(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5_Coverage(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkE6_EpsilonSweep(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE7_Reidentification(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE8_W4MSweep(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9_ZoneSupply(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10_Throughput(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11_QuerySuite(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12_Ablations(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13_SemanticAttack(b *testing.B)  { benchExperiment(b, "E13") }
+func BenchmarkE14_MMCAttack(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15_ZoneComposition(b *testing.B) { benchExperiment(b, "E15") }
+
+// benchDataset builds a fixed commuter dataset for the throughput
+// benchmarks.
+func benchDataset(b *testing.B) *trace.Dataset {
+	b.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 10
+	cfg.Sampling = time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Dataset
+}
+
+// BenchmarkPipeline measures the full anonymization pipeline and
+// reports throughput in input points per second.
+func BenchmarkPipeline(b *testing.B) {
+	d := benchDataset(b)
+	a, err := mobipriv.New(mobipriv.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := float64(d.TotalPoints())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Anonymize(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSpeedSmoothing measures step 1 alone.
+func BenchmarkSpeedSmoothing(b *testing.B) {
+	d := benchDataset(b)
+	cfg := core.DefaultConfig()
+	points := float64(d.TotalPoints())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.SmoothDataset(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkMixZones measures step 2 alone (detection + swap).
+func BenchmarkMixZones(b *testing.B) {
+	d := benchDataset(b)
+	cfg := mixzone.DefaultConfig()
+	points := float64(d.TotalPoints())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mixzone.Apply(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkZoneDetection isolates the crossing detector.
+func BenchmarkZoneDetection(b *testing.B) {
+	d := benchDataset(b)
+	cfg := mixzone.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mixzone.DetectZones(d, cfg)
+	}
+}
+
+// BenchmarkGeoI measures the planar Laplace baseline.
+func BenchmarkGeoI(b *testing.B) {
+	d := benchDataset(b)
+	points := float64(d.TotalPoints())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := geoind.PerturbDataset(d, geoind.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkW4M measures the (k,delta)-anonymity baseline.
+func BenchmarkW4M(b *testing.B) {
+	d := benchDataset(b)
+	points := float64(d.TotalPoints())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w4m.Anonymize(d, w4m.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}

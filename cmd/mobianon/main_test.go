@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mobipriv/internal/synth"
+	"mobipriv/internal/traceio"
+)
+
+// writeInput generates a small commuter dataset CSV and returns its path.
+func writeInput(t *testing.T) string {
+	t.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 4
+	cfg.Sampling = 3 * time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "in.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := traceio.WriteCSV(f, g.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPipeline(t *testing.T) {
+	in := writeInput(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	d, err := traceio.ReadCSV(&out)
+	if err != nil {
+		t.Fatalf("pipeline output unreadable: %v", err)
+	}
+	for _, u := range d.Users() {
+		if !strings.HasPrefix(u, "p") {
+			t.Fatalf("user %q not pseudonymized", u)
+		}
+	}
+}
+
+func TestRunMechanisms(t *testing.T) {
+	in := writeInput(t)
+	for _, mech := range []string{"promesse", "geoi", "w4m"} {
+		t.Run(mech, func(t *testing.T) {
+			var out bytes.Buffer
+			args := []string{"-in", in, "-mechanism", mech}
+			if mech == "w4m" {
+				args = append(args, "-k", "2", "-delta", "500")
+			}
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := traceio.ReadCSV(&out); err != nil {
+				t.Fatalf("output unreadable: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunOutputFormats(t *testing.T) {
+	in := writeInput(t)
+	dir := t.TempDir()
+	for _, name := range []string{"out.csv", "out.jsonl", "out.geojson"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			if err := run([]string{"-in", in, "-mechanism", "promesse", "-out", path}, &bytes.Buffer{}); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil || len(data) == 0 {
+				t.Fatalf("output file: %v bytes, err %v", len(data), err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeInput(t)
+	cases := [][]string{
+		{},                                   // missing -in
+		{"-in", "/nonexistent.csv"},          // unreadable input
+		{"-in", in, "-mechanism", "quantum"}, // unknown mechanism
+		{"-in", in, "-epsilon", "-5"},        // invalid epsilon
+		{"-in", in, "-mechanism", "w4m", "-k", "1"}, // invalid k
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command mobibench regenerates the evaluation tables (experiments
+// E1..E12 from DESIGN.md §4 / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mobibench                 # run everything at full scale
+//	mobibench -exp E2,E7      # selected experiments
+//	mobibench -scale quick    # the reduced workloads used by tests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mobipriv/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobibench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mobibench", flag.ContinueOnError)
+	var (
+		exps  = fs.String("exp", "all", "comma-separated experiment ids (e.g. E2,E7) or 'all'")
+		scale = fs.String("scale", "full", "workload scale: quick or full")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.Quick
+	case "full":
+		sc = experiment.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+
+	var selected []experiment.Experiment
+	if *exps == "all" {
+		selected = experiment.All()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			e, err := experiment.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := table.Render(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "(%s at %s scale in %s)\n\n", e.ID, sc, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E1", "-scale", "quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== E1:") {
+		t.Fatalf("missing E1 table:\n%s", s)
+	}
+	if !strings.Contains(s, "quick scale") {
+		t.Fatalf("missing scale footer:\n%s", s)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E1, E3", "-scale", "quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== E1:") || !strings.Contains(s, "== E3:") {
+		t.Fatalf("missing tables:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "E99"},
+		{"-scale", "galactic"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

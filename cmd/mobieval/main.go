@@ -1,0 +1,179 @@
+// Command mobieval compares an anonymized dataset against its original
+// and prints the utility metrics of the evaluation (spatial distortion,
+// coverage, trip lengths, OD flows, popular cells, range queries) and,
+// when ground-truth stays are supplied, the POI-retrieval attack scores.
+//
+// Usage:
+//
+//	mobieval -orig raw.csv -anon anon.csv
+//	mobieval -orig raw.csv -anon anon.csv -stays stays.csv
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"mobipriv/internal/attack/poiattack"
+	"mobipriv/internal/geo"
+	"mobipriv/internal/metrics"
+	"mobipriv/internal/stats"
+	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
+	"mobipriv/internal/traceio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobieval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mobieval", flag.ContinueOnError)
+	var (
+		origPath  = fs.String("orig", "", "original dataset (.csv/.jsonl); required")
+		anonPath  = fs.String("anon", "", "anonymized dataset (.csv/.jsonl); required")
+		staysPath = fs.String("stays", "", "ground-truth stays CSV from mobigen (enables the POI attack)")
+		cell      = fs.Float64("cell", 500, "grid cell size in meters for coverage/OD/popularity")
+		queries   = fs.Int("queries", 100, "number of random range queries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *origPath == "" || *anonPath == "" {
+		return errors.New("-orig and -anon are required")
+	}
+	orig, err := readDataset(*origPath)
+	if err != nil {
+		return fmt.Errorf("original: %w", err)
+	}
+	anon, err := readDataset(*anonPath)
+	if err != nil {
+		return fmt.Errorf("anonymized: %w", err)
+	}
+
+	fmt.Fprintf(stdout, "original:   %s\n", orig)
+	fmt.Fprintf(stdout, "anonymized: %s\n\n", anon)
+
+	// Geometry metrics that need matched identifiers degrade gracefully.
+	if dist, err := metrics.DatasetDistortion(orig, anon); err == nil {
+		fmt.Fprintf(stdout, "spatial distortion (pub->orig): %s\n", stats.Summarize(dist))
+	} else {
+		fmt.Fprintf(stdout, "spatial distortion: skipped (%v)\n", err)
+	}
+	if comp, err := metrics.DatasetCompleteness(orig, anon); err == nil {
+		fmt.Fprintf(stdout, "completeness (orig->pub):       %s\n", stats.Summarize(comp))
+	}
+
+	cov, err := metrics.Coverage(orig, anon, *cell)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "coverage @%.0fm: P=%.3f R=%.3f F1=%.3f (%d->%d cells)\n",
+		*cell, cov.Precision, cov.Recall, cov.F1, cov.OrigCells, cov.AnonCells)
+
+	lens, err := metrics.TripLengths(orig, anon)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trip lengths: mean %.0f -> %.0f m (rel err %.3f), decile err %.3f\n",
+		lens.OrigMean, lens.AnonMean, lens.MeanRelError, lens.DecileError)
+
+	od, err := metrics.ODFlows(orig, anon, *cell)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "OD flows @%.0fm: accuracy %.3f (%d -> %d distinct pairs)\n",
+		*cell, od.Accuracy, od.OrigOD, od.AnonOD)
+
+	if tau, err := metrics.PopularCellsTau(orig, anon, *cell, 20); err == nil {
+		fmt.Fprintf(stdout, "popular cells (top 20): kendall tau %.3f\n", tau)
+	}
+
+	rq, err := metrics.RangeQueryError(orig, anon, *queries, *cell, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "range queries (%d @%.0fm): mean rel err %.3f, p95 %.3f\n",
+		*queries, *cell, stats.Mean(rq), stats.Quantile(rq, 0.95))
+
+	if *staysPath != "" {
+		stays, err := readStays(*staysPath)
+		if err != nil {
+			return err
+		}
+		atk, err := poiattack.Evaluate(anon, stays, poiattack.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nPOI retrieval attack:\n  per-user: %s\n  global:   %s\n",
+			atk.PerUser, atk.Global)
+	}
+	return nil
+}
+
+func readDataset(path string) (*trace.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open: %w", err)
+	}
+	defer f.Close()
+	if filepath.Ext(path) == ".jsonl" {
+		return traceio.ReadJSONL(f)
+	}
+	return traceio.ReadCSV(f)
+}
+
+// readStays parses the stays CSV written by mobigen.
+func readStays(path string) ([]synth.Stay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open stays: %w", err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read stays: %w", err)
+	}
+	var out []synth.Stay
+	for i, rec := range recs {
+		if i == 0 && len(rec) == 5 && rec[0] == "user" {
+			continue
+		}
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("stays line %d: want 5 fields, got %d", i+1, len(rec))
+		}
+		lat, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stays line %d: lat: %w", i+1, err)
+		}
+		lng, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stays line %d: lng: %w", i+1, err)
+		}
+		enter, err := time.Parse(time.RFC3339, rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("stays line %d: enter: %w", i+1, err)
+		}
+		leave, err := time.Parse(time.RFC3339, rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("stays line %d: leave: %w", i+1, err)
+		}
+		out = append(out, synth.Stay{
+			User:   rec[0],
+			Center: geo.Point{Lat: lat, Lng: lng},
+			Enter:  enter,
+			Leave:  leave,
+		})
+	}
+	return out, nil
+}

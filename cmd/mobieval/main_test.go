@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mobipriv"
+	"mobipriv/internal/synth"
+	"mobipriv/internal/traceio"
+)
+
+// fixture writes raw.csv, anon.csv and stays.csv into a temp dir.
+func fixture(t *testing.T) (raw, anon, stays string) {
+	t.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 4
+	cfg.Sampling = 3 * time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := mobipriv.New(mobipriv.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Anonymize(g.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	raw = filepath.Join(dir, "raw.csv")
+	anon = filepath.Join(dir, "anon.csv")
+	stays = filepath.Join(dir, "stays.csv")
+
+	writeCSV := func(path string, write func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeCSV(raw, func(f *os.File) error { return traceio.WriteCSV(f, g.Dataset) })
+	writeCSV(anon, func(f *os.File) error { return traceio.WriteCSV(f, res.Dataset) })
+	writeCSV(stays, func(f *os.File) error {
+		var b strings.Builder
+		b.WriteString("user,lat,lng,enter,leave\n")
+		for _, s := range g.Stays {
+			b.WriteString(s.User + "," +
+				formatFloat(s.Center.Lat) + "," + formatFloat(s.Center.Lng) + "," +
+				s.Enter.UTC().Format(time.RFC3339) + "," + s.Leave.UTC().Format(time.RFC3339) + "\n")
+		}
+		_, err := f.WriteString(b.String())
+		return err
+	})
+	return raw, anon, stays
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func TestRunFullReport(t *testing.T) {
+	raw, anon, stays := fixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"-orig", raw, "-anon", anon, "-stays", stays}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"coverage @500m", "trip lengths", "OD flows", "range queries", "POI retrieval attack",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Pipeline output has pseudonyms: distortion must degrade gracefully.
+	if !strings.Contains(report, "spatial distortion") {
+		t.Error("distortion section missing entirely")
+	}
+}
+
+func TestRunWithoutStays(t *testing.T) {
+	raw, anon, _ := fixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"-orig", raw, "-anon", anon}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "POI retrieval attack") {
+		t.Error("attack section should require -stays")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	raw, anon, _ := fixture(t)
+	cases := [][]string{
+		{},
+		{"-orig", raw},
+		{"-orig", raw, "-anon", "/nonexistent.csv"},
+		{"-orig", raw, "-anon", anon, "-stays", "/nonexistent.csv"},
+		{"-orig", raw, "-anon", anon, "-cell", "-5"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestReadStaysBadRows(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"bad fields": "user,lat\n",
+		"bad lat":    "u,xx,4,2015-06-30T08:00:00Z,2015-06-30T09:00:00Z\n",
+		"bad enter":  "u,45,4,notatime,2015-06-30T09:00:00Z\n",
+		"bad leave":  "u,45,4,2015-06-30T08:00:00Z,notatime\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".csv")
+			if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := readStays(p); err == nil {
+				t.Errorf("content %q accepted", content)
+			}
+		})
+	}
+}

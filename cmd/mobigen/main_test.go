@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mobipriv/internal/traceio"
+)
+
+func TestRunCSVToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-model", "commuter", "-users", "3", "-sampling", "5m"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := traceio.ReadCSV(&out)
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("generated %d users, want 3", d.Len())
+	}
+}
+
+func TestRunWritesFilesAndStays(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.csv")
+	staysPath := filepath.Join(dir, "stays.csv")
+	err := run([]string{
+		"-model", "commuter", "-users", "2", "-sampling", "5m",
+		"-out", dataPath, "-stays", staysPath,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := traceio.ReadCSV(f)
+	if err != nil || d.Len() != 2 {
+		t.Fatalf("data file: %v, %v", d, err)
+	}
+	stays, err := os.ReadFile(staysPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(stays), "user,lat,lng,enter,leave") {
+		t.Fatalf("stays header missing: %q", string(stays)[:40])
+	}
+	if len(strings.Split(strings.TrimSpace(string(stays)), "\n")) < 3 {
+		t.Fatal("expected at least 2 stay rows")
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	for _, model := range []string{"commuter", "taxi", "rw"} {
+		t.Run(model, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run([]string{"-model", model, "-users", "2", "-sampling", "5m"}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"csv", "jsonl", "geojson"} {
+		t.Run(format, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run([]string{"-users", "2", "-sampling", "10m", "-format", format}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "spaceship"},
+		{"-format", "xml"},
+		{"-users", "-3"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSeedDeterminism(t *testing.T) {
+	gen := func(seed string) string {
+		var out bytes.Buffer
+		if err := run([]string{"-users", "2", "-sampling", "10m", "-seed", seed}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if gen("7") != gen("7") {
+		t.Fatal("same seed must give identical output")
+	}
+	if gen("7") == gen("8") {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateRespectsOverrides(t *testing.T) {
+	g, err := generate("commuter", 4, 1, 2, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dataset.Len() != 4 {
+		t.Fatalf("users = %d", g.Dataset.Len())
+	}
+	from, to, ok := g.Dataset.TimeSpan()
+	if !ok || to.Sub(from) < 36*time.Hour {
+		t.Fatalf("2 days requested, span = %v", to.Sub(from))
+	}
+}

@@ -1,0 +1,88 @@
+// Commuters example: the Geolife-like scenario. Individuals with homes,
+// workplaces and leisure venues are the hardest case for mobility
+// privacy — their POIs identify them. The example compares the paper's
+// pipeline against the geo-indistinguishability baseline under both the
+// POI-retrieval attack and a background-knowledge re-identification
+// attack.
+//
+// Run with: go run ./examples/commuters
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mobipriv"
+	"mobipriv/internal/attack/poiattack"
+	"mobipriv/internal/attack/reident"
+	"mobipriv/internal/baseline/geoind"
+	"mobipriv/internal/poi"
+	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 20
+	cfg.Sampling = time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population: %v, %d ground-truth stays\n\n", g.Dataset, len(g.Stays))
+
+	// The attacker's background knowledge: every user's true POI
+	// locations (e.g. harvested from social media).
+	known := poiattack.TruePOIs(g.Stays, 250)
+
+	// Candidate publications.
+	publications := map[string]*trace.Dataset{
+		"raw-pseudonymized": g.Dataset,
+	}
+	pipe, err := mobipriv.New(mobipriv.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipe.Anonymize(g.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	publications["pipeline"] = res.Dataset
+	gi, err := geoind.PerturbDataset(g.Dataset, geoind.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	publications["geo-i(eps=0.01)"] = gi
+
+	fmt.Println("attack results (lower is better for the publisher):")
+	for _, name := range []string{"raw-pseudonymized", "geo-i(eps=0.01)", "pipeline"} {
+		ds := publications[name]
+		atk, err := poiattack.Evaluate(ds, g.Stays, poiattack.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// For raw and geo-i the identity mapping is trivial; for the
+		// pipeline the majority owner is the right ground truth.
+		truth := func(u string) string { return u }
+		if name == "pipeline" {
+			truth = res.MajorityOwner
+		}
+		link, err := reident.LinkByPOI(ds, known, truth, poi.DefaultConfig(), 250)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s POI F1 %.3f | re-identified %d/%d users (%.0f%%)\n",
+			name, atk.Global.F1, link.Correct, link.Total, 100*link.Rate)
+	}
+
+	// Where did the zones come from? Natural meetings at shared venues.
+	fmt.Printf("\npipeline internals: %d natural mix-zones, %d swapped, %d points suppressed\n",
+		res.Zones, res.Swaps, res.SuppressedPoints)
+	if len(g.Venues) > 0 {
+		fmt.Printf("the city has %d shared venues; e.g. %s is a natural meeting place\n",
+			len(g.Venues), g.Venues[0])
+	}
+}

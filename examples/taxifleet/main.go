@@ -1,0 +1,79 @@
+// Taxi fleet example: the Cabspotting-like scenario from the paper's
+// motivation. A fleet operator wants to publish vehicle traces for
+// traffic research without revealing where drivers wait (taxi stands,
+// depots). The example generates a synthetic fleet, anonymizes it, and
+// evaluates both privacy (POI-retrieval attack) and utility (coverage,
+// trip lengths, range queries).
+//
+// Run with: go run ./examples/taxifleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobipriv"
+	"mobipriv/internal/attack/poiattack"
+	"mobipriv/internal/metrics"
+	"mobipriv/internal/stats"
+	"mobipriv/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := synth.DefaultTaxiConfig()
+	cfg.Vehicles = 20
+	cfg.TripsEach = 6
+	g, err := synth.TaxiFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %v, %d ground-truth stand waits\n", g.Dataset, len(g.Stays))
+
+	anon, err := mobipriv.New(mobipriv.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := anon.Anonymize(g.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published: %v (%d zones, %d swaps, %d points suppressed)\n\n",
+		res.Dataset, res.Zones, res.Swaps, res.SuppressedPoints)
+
+	// Privacy: can the adversary still find the stands?
+	before, err := poiattack.Evaluate(g.Dataset, g.Stays, poiattack.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := poiattack.Evaluate(res.Dataset, g.Stays, poiattack.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("POI-retrieval attack (global location disclosure):")
+	fmt.Printf("  raw:       %s\n", before.Global)
+	fmt.Printf("  published: %s\n", after.Global)
+
+	// Utility: does the published fleet still describe the city?
+	cov, err := metrics.Coverage(g.Dataset, res.Dataset, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nutility @500 m cells:\n  coverage F1 %.3f (%d original cells, %d published)\n",
+		cov.F1, cov.OrigCells, cov.AnonCells)
+	lens, err := metrics.TripLengths(g.Dataset, res.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  trace length mean: %.1f km -> %.1f km\n", lens.OrigMean/1000, lens.AnonMean/1000)
+	rq, err := metrics.RangeQueryError(g.Dataset, res.Dataset, 200, 500, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  range-query density error: mean %.3f, p95 %.3f\n",
+		stats.Mean(rq), stats.Quantile(rq, 0.95))
+
+	fmt.Printf("\n(total runtime excludes generation; anonymization handled %d points)\n",
+		g.Dataset.TotalPoints())
+}

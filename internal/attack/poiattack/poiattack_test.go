@@ -1,0 +1,127 @@
+package poiattack
+
+import (
+	"testing"
+	"time"
+
+	"mobipriv/internal/core"
+	"mobipriv/internal/geo"
+	"mobipriv/internal/synth"
+)
+
+func commuters(t testing.TB, users int) *synth.Generated {
+	t.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = users
+	cfg.Sampling = 2 * time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEvaluateRawDataHighF1(t *testing.T) {
+	g := commuters(t, 10)
+	res, err := Evaluate(g.Dataset, g.Stays, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On raw data the attack must retrieve nearly all POIs.
+	if res.PerUser.Recall < 0.85 {
+		t.Errorf("raw per-user recall = %v, want >= 0.85 (%s)", res.PerUser.Recall, res.PerUser)
+	}
+	if res.PerUser.F1 < 0.7 {
+		t.Errorf("raw per-user F1 = %v, want >= 0.7 (%s)", res.PerUser.F1, res.PerUser)
+	}
+	if res.Global.F1 < 0.7 {
+		t.Errorf("raw global F1 = %v (%s)", res.Global.F1, res.Global)
+	}
+}
+
+func TestEvaluateSmoothedDataLowF1(t *testing.T) {
+	g := commuters(t, 10)
+	sm, _, err := core.SmoothDataset(g.Dataset, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Evaluate(g.Dataset, g.Stays, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := Evaluate(sm, g.Stays, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline reproduction: speed smoothing slashes the attack's F1.
+	if anon.PerUser.F1 > raw.PerUser.F1/2 {
+		t.Errorf("smoothing did not halve F1: raw %s -> anon %s", raw.PerUser, anon.PerUser)
+	}
+	if anon.PerUser.Precision > 0.5 {
+		t.Errorf("smoothed precision = %v, want low (stays detected, if any, are spread along the path)",
+			anon.PerUser.Precision)
+	}
+}
+
+func TestEvaluateMatchRadiusValidation(t *testing.T) {
+	g := commuters(t, 3)
+	cfg := DefaultConfig()
+	cfg.MatchRadius = 0
+	if _, err := Evaluate(g.Dataset, g.Stays, cfg); err == nil {
+		t.Fatal("MatchRadius=0 accepted")
+	}
+}
+
+func TestTruePOIsMergesRepeatStays(t *testing.T) {
+	t0 := time.Date(2015, 6, 30, 8, 0, 0, 0, time.UTC)
+	home := geo.Point{Lat: 45.76, Lng: 4.83}
+	work := geo.Destination(home, 90, 3000)
+	stays := []synth.Stay{
+		{User: "u", Center: home, Enter: t0, Leave: t0.Add(8 * time.Hour)},
+		{User: "u", Center: geo.Offset(home, 20, 0), Enter: t0.Add(20 * time.Hour), Leave: t0.Add(30 * time.Hour)},
+		{User: "u", Center: work, Enter: t0.Add(9 * time.Hour), Leave: t0.Add(17 * time.Hour)},
+		{User: "v", Center: work, Enter: t0.Add(9 * time.Hour), Leave: t0.Add(17 * time.Hour)},
+	}
+	truth := TruePOIs(stays, 250)
+	if len(truth["u"]) != 2 {
+		t.Errorf("user u: %d true POIs, want 2 (home merged)", len(truth["u"]))
+	}
+	if len(truth["v"]) != 1 {
+		t.Errorf("user v: %d true POIs, want 1", len(truth["v"]))
+	}
+}
+
+func TestMatchCountOneToOne(t *testing.T) {
+	base := geo.Point{Lat: 45.76, Lng: 4.83}
+	truth := []geo.Point{base, geo.Destination(base, 90, 1000)}
+	// Two extracted POIs both near the first truth point: only one match.
+	extracted := []geo.Point{geo.Offset(base, 10, 0), geo.Offset(base, -10, 0)}
+	if got := matchCount(truth, extracted, 250); got != 1 {
+		t.Fatalf("matchCount = %d, want 1 (one-to-one)", got)
+	}
+	// Perfect pairing.
+	extracted = []geo.Point{geo.Offset(base, 10, 0), geo.Offset(geo.Destination(base, 90, 1000), 5, 5)}
+	if got := matchCount(truth, extracted, 250); got != 2 {
+		t.Fatalf("matchCount = %d, want 2", got)
+	}
+	// Nothing in range.
+	extracted = []geo.Point{geo.Destination(base, 0, 5000)}
+	if got := matchCount(truth, extracted, 250); got != 0 {
+		t.Fatalf("matchCount = %d, want 0", got)
+	}
+}
+
+func TestScoreString(t *testing.T) {
+	s := newScore(10, 8, 6)
+	if s.Precision != 0.75 || s.Recall != 0.6 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	// Degenerate: no truth, no extraction.
+	z := newScore(0, 0, 0)
+	if z.Precision != 0 || z.Recall != 0 || z.F1 != 0 {
+		t.Fatalf("zero score = %+v", z)
+	}
+}

@@ -1,0 +1,241 @@
+package reident
+
+import (
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/mixzone"
+	"mobipriv/internal/poi"
+	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
+)
+
+var (
+	t0     = time.Date(2015, 6, 30, 8, 0, 0, 0, time.UTC)
+	origin = geo.Point{Lat: 45.7640, Lng: 4.8357}
+)
+
+// crossing builds two users crossing at the origin.
+func crossing() *trace.Dataset {
+	east := func(user string) *trace.Trace {
+		var pts []trace.Point
+		now := t0
+		for x := -1000.0; x <= 1000; x += 100 {
+			pts = append(pts, trace.Point{Point: geo.Offset(origin, x, 0), Time: now})
+			now = now.Add(10 * time.Second)
+		}
+		return trace.MustNew(user, pts)
+	}
+	north := func(user string) *trace.Trace {
+		var pts []trace.Point
+		now := t0
+		for y := -1000.0; y <= 1000; y += 100 {
+			pts = append(pts, trace.Point{Point: geo.Offset(origin, 0, y), Time: now})
+			now = now.Add(10 * time.Second)
+		}
+		return trace.MustNew(user, pts)
+	}
+	return trace.MustNewDataset([]*trace.Trace{east("alice"), north("bob")})
+}
+
+func TestTrackerSeesThroughCleanCrossing(t *testing.T) {
+	// At a perpendicular crossing with constant speeds, the velocity-
+	// predicting tracker should link correctly regardless of swapping —
+	// this is the known weakness of mix-zones at clean crossings and the
+	// reason the end-to-end metric is about accumulation over many zones.
+	d := crossing()
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := mixzone.DefaultConfig()
+		cfg.SwapSeed = seed
+		res, err := mixzone.Apply(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Zones) == 0 {
+			t.Fatal("no zone detected at crossing")
+		}
+		tr, err := Tracker(res, res.Dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ZoneAccuracy < 0.99 {
+			t.Errorf("seed %d: tracker accuracy %v at a clean crossing, want ~1", seed, tr.ZoneAccuracy)
+		}
+		if tr.EndToEnd < 0.99 {
+			t.Errorf("seed %d: end-to-end %v at a clean crossing", seed, tr.EndToEnd)
+		}
+	}
+}
+
+// coLocated builds two users who walk together slowly through a meeting
+// point and then part ways — the kinematically ambiguous case mix-zones
+// thrive on.
+func coLocated(sep float64) *trace.Dataset {
+	mk := func(user string, postBrg float64) *trace.Trace {
+		var pts []trace.Point
+		now := t0
+		// Approach: both walk east together, sep meters apart laterally.
+		dy := sep / 2
+		if user == "bob" {
+			dy = -sep / 2
+		}
+		for x := -300.0; x <= 0; x += 15 { // 1.5 m/s walk, 10 s sampling
+			pts = append(pts, trace.Point{Point: geo.Offset(origin, x, dy), Time: now})
+			now = now.Add(10 * time.Second)
+		}
+		// Depart in different directions at the same speed.
+		for d := 15.0; d <= 300; d += 15 {
+			pts = append(pts, trace.Point{Point: geo.Destination(geo.Offset(origin, 0, dy), postBrg, d), Time: now})
+			now = now.Add(10 * time.Second)
+		}
+		return trace.MustNew(user, pts)
+	}
+	return trace.MustNewDataset([]*trace.Trace{mk("alice", 45), mk("bob", 135)})
+}
+
+func TestTrackerGroundTruthConsistency(t *testing.T) {
+	// Whatever the attacker's accuracy, the scoring must be internally
+	// consistent: when NoSwap is set the correct link is the identity, so
+	// a constant-velocity tracker on diverging walkers is perfect.
+	d := coLocated(10)
+	cfg := mixzone.DefaultConfig()
+	cfg.NoSwap = true
+	res, err := mixzone.Apply(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Zones) == 0 {
+		t.Skip("no zone detected in co-located walk (config drift)")
+	}
+	tr, err := Tracker(res, res.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.EndToEnd != 1 {
+		t.Errorf("NoSwap end-to-end = %v, want 1 (identity never changes)", tr.EndToEnd)
+	}
+}
+
+func TestTrackerNoZones(t *testing.T) {
+	single := trace.MustNewDataset([]*trace.Trace{
+		trace.MustNew("solo", []trace.Point{
+			{Point: origin, Time: t0},
+			{Point: geo.Offset(origin, 100, 0), Time: t0.Add(time.Minute)},
+		}),
+	})
+	res, err := mixzone.Apply(single, mixzone.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Tracker(res, res.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ZoneAccuracy != 1 || tr.EndToEnd != 1 || tr.Zones != 0 {
+		t.Errorf("no-zone tracker = %+v", tr)
+	}
+}
+
+func TestTrackerNilInputs(t *testing.T) {
+	if _, err := Tracker(nil, nil); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+}
+
+func TestTrackerOnSyntheticCommuters(t *testing.T) {
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 15
+	cfg.Sampling = time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mixzone.Apply(g.Dataset, mixzone.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Tracker(res, res.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ZoneAccuracy < 0 || tr.ZoneAccuracy > 1 || tr.EndToEnd < 0 || tr.EndToEnd > 1 {
+		t.Fatalf("accuracy out of range: %+v", tr)
+	}
+	t.Logf("commuters: %d zones, zone accuracy %.2f, end-to-end %.2f",
+		tr.Zones, tr.ZoneAccuracy, tr.EndToEnd)
+}
+
+func TestLinkByPOIRawData(t *testing.T) {
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 10
+	cfg.Sampling = 2 * time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker knows every user's true POI locations.
+	known := make(map[string][]geo.Point)
+	for _, s := range g.Stays {
+		known[s.User] = append(known[s.User], s.Center)
+	}
+	res, err := LinkByPOI(g.Dataset, known, func(u string) string { return u }, poi.DefaultConfig(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On raw pseudonymized data with full background knowledge the
+	// linker should re-identify most users.
+	if res.Rate < 0.7 {
+		t.Errorf("raw link rate = %v (%d/%d), want >= 0.7", res.Rate, res.Correct, res.Total)
+	}
+}
+
+func TestLinkByPOIValidation(t *testing.T) {
+	d := crossing()
+	if _, err := LinkByPOI(d, nil, func(u string) string { return u }, poi.DefaultConfig(), 0); err == nil {
+		t.Fatal("radius=0 accepted")
+	}
+	if _, err := LinkByPOI(d, nil, nil, poi.DefaultConfig(), 100); err == nil {
+		t.Fatal("nil truth accepted")
+	}
+}
+
+func TestOverlapScore(t *testing.T) {
+	a := origin
+	b := geo.Destination(origin, 90, 1000)
+	known := []geo.Point{a, b}
+	if got := overlapScore(known, []geo.Point{geo.Offset(a, 10, 0)}, 100); got != 0.5 {
+		t.Errorf("overlap = %v, want 0.5", got)
+	}
+	if got := overlapScore(known, []geo.Point{a, b}, 100); got != 1 {
+		t.Errorf("overlap = %v, want 1", got)
+	}
+	if got := overlapScore(nil, []geo.Point{a}, 100); got != 0 {
+		t.Errorf("overlap with no knowledge = %v", got)
+	}
+}
+
+func TestPredictConstantVelocity(t *testing.T) {
+	tr := trace.MustNew("u", []trace.Point{
+		{Point: origin, Time: t0},
+		{Point: geo.Offset(origin, 100, 0), Time: t0.Add(10 * time.Second)}, // 10 m/s east
+	})
+	p, ok := predict(tr, t0.Add(10*time.Second), t0.Add(20*time.Second))
+	if !ok {
+		t.Fatal("predict failed")
+	}
+	want := geo.Offset(origin, 200, 0)
+	if d := geo.Distance(p, want); d > 1 {
+		t.Fatalf("prediction off by %v m", d)
+	}
+	// Prediction with a single point degrades to last position.
+	single := trace.MustNew("u", []trace.Point{{Point: origin, Time: t0}})
+	p, ok = predict(single, t0, t0.Add(10*time.Second))
+	if !ok || geo.Distance(p, origin) > 0.01 {
+		t.Fatalf("single-point predict = %v, %v", p, ok)
+	}
+	// No points before ts.
+	if _, ok := predict(tr, t0.Add(-time.Hour), t0); ok {
+		t.Fatal("predict before first observation should fail")
+	}
+}

@@ -1,0 +1,154 @@
+package semantic
+
+import (
+	"testing"
+	"time"
+
+	"mobipriv/internal/core"
+	"mobipriv/internal/geo"
+	"mobipriv/internal/trace"
+)
+
+var (
+	t0     = time.Date(2015, 6, 30, 8, 0, 0, 0, time.UTC)
+	origin = geo.Point{Lat: 45.7640, Lng: 4.8357}
+)
+
+// stopTravelStop builds a trace stopping 20 min at A, driving to B, and
+// stopping 20 min there.
+func stopTravelStop(a, b geo.Point) *trace.Trace {
+	var pts []trace.Point
+	now := t0
+	stay := func(p geo.Point, n int) {
+		for i := 0; i < n; i++ {
+			pts = append(pts, trace.Point{Point: geo.Offset(p, float64(i%2), 0), Time: now})
+			now = now.Add(30 * time.Second)
+		}
+	}
+	stay(a, 40)
+	d := geo.Distance(a, b)
+	for cur := 150.0; cur < d; cur += 150 {
+		pts = append(pts, trace.Point{Point: geo.Interpolate(a, b, cur/d), Time: now})
+		now = now.Add(15 * time.Second)
+	}
+	stay(b, 40)
+	return trace.MustNew("u", pts)
+}
+
+func TestRankVenuesRawData(t *testing.T) {
+	a := origin
+	b := geo.Destination(origin, 90, 3000)
+	decoy := geo.Destination(origin, 0, 2000) // venue the user never visits
+	tr := stopTravelStop(a, b)
+	ranked, err := RankVenues(tr, []geo.Point{decoy, b, a}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two stop venues must outrank the decoy, with real dwell time.
+	if geo.FastDistance(ranked[0].Venue, decoy) < 1 || geo.FastDistance(ranked[1].Venue, decoy) < 1 {
+		t.Fatalf("decoy ranked in top 2: %+v", ranked)
+	}
+	if ranked[0].Score < 10*60 {
+		t.Errorf("top venue score = %v s, want >= 10 min of dwell", ranked[0].Score)
+	}
+	if ranked[2].Score != 0 {
+		t.Errorf("decoy score = %v, want 0", ranked[2].Score)
+	}
+}
+
+func TestRankVenuesSmoothedDataLosesCertainty(t *testing.T) {
+	a := origin
+	b := geo.Destination(origin, 90, 3000)
+	// Venue on the route halfway between the stops.
+	onRoute := geo.Destination(origin, 90, 1500)
+	tr := stopTravelStop(a, b)
+	sm, err := core.Smooth(tr, core.Config{Epsilon: 100, Trim: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := RankVenues(sm, []geo.Point{a, b, onRoute}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After smoothing the trace spends comparable time near every venue
+	// on its path: the on-route decoy's score is within a factor ~3 of
+	// the true stops' (before smoothing it is >20x smaller).
+	scores := make(map[string]float64)
+	for _, c := range ranked {
+		switch {
+		case geo.FastDistance(c.Venue, a) < 1:
+			scores["a"] = c.Score
+		case geo.FastDistance(c.Venue, b) < 1:
+			scores["b"] = c.Score
+		default:
+			scores["route"] = c.Score
+		}
+	}
+	if scores["route"] == 0 {
+		t.Fatal("on-route venue got no mass on a constant-speed trace")
+	}
+	if ratio := scores["a"] / scores["route"]; ratio > 3 {
+		t.Errorf("true stop still %vx more massive than route venue after smoothing", ratio)
+	}
+	// Raw comparison: the stop dominates the route venue by an order of
+	// magnitude.
+	rawRanked, err := RankVenues(tr, []geo.Point{a, onRoute}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawRanked[0].Score < 10*rawRanked[1].Score {
+		t.Errorf("raw stop/route mass ratio = %v, want >= 10", rawRanked[0].Score/rawRanked[1].Score)
+	}
+}
+
+func TestRankVenuesValidation(t *testing.T) {
+	tr := stopTravelStop(origin, geo.Destination(origin, 90, 1000))
+	if _, err := RankVenues(nil, []geo.Point{origin}, DefaultConfig()); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := RankVenues(tr, nil, DefaultConfig()); err == nil {
+		t.Error("no venues accepted")
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	a := origin
+	b := geo.Destination(origin, 90, 3000)
+	tr := stopTravelStop(a, b)
+	d := trace.MustNewDataset([]*trace.Trace{tr})
+	venues := []geo.Point{a, b, geo.Destination(origin, 0, 2000), geo.Destination(origin, 180, 2500)}
+	truth := map[string][]geo.Point{"u": {a, b}}
+	r, err := RecallAtK(d, venues, truth, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("raw recall@2 = %v, want 1", r)
+	}
+	// k=1 can only recover one of the two POIs.
+	r, err = RecallAtK(d, venues, truth, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0.5 {
+		t.Fatalf("raw recall@1 = %v, want 0.5", r)
+	}
+	if _, err := RecallAtK(d, venues, truth, 0, DefaultConfig()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RecallAtK(d, venues, map[string][]geo.Point{}, 1, DefaultConfig()); err == nil {
+		t.Error("empty truth accepted")
+	}
+}
+
+func TestRandomBaseline(t *testing.T) {
+	if got := RandomBaseline(10, 2); got != 0.2 {
+		t.Errorf("baseline = %v, want 0.2", got)
+	}
+	if got := RandomBaseline(3, 5); got != 1 {
+		t.Errorf("baseline k>n = %v, want 1", got)
+	}
+	if got := RandomBaseline(0, 5); got != 0 {
+		t.Errorf("baseline no venues = %v, want 0", got)
+	}
+}

@@ -1,0 +1,100 @@
+package w4m
+
+import (
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
+)
+
+// Property: on arbitrary synthetic workloads, every published cluster
+// satisfies the (k,delta) guarantee — at every published instant, all
+// members of a cluster are pairwise within delta.
+func TestPropertyKDeltaGuarantee(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := synth.DefaultCommuterConfig()
+		cfg.Seed = seed
+		cfg.Users = 9
+		cfg.Sampling = 3 * time.Minute
+		g, err := synth.Commuters(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcfg := Config{K: 3, Delta: 500, MaxRadius: 1e9} // force clustering
+		res, err := Anonymize(g.Dataset, wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, users := range res.Clusters {
+			for i, u := range users {
+				tu := res.Dataset.ByUser(u)
+				if tu == nil {
+					continue // cluster collapsed at translation time
+				}
+				for _, v := range users[i+1:] {
+					tv := res.Dataset.ByUser(v)
+					if tv == nil {
+						continue
+					}
+					for _, p := range tu.Points {
+						q, ok := tv.At(p.Time)
+						if !ok {
+							continue
+						}
+						if d := geo.Distance(p.Point, q); d > wcfg.Delta*1.01 {
+							t.Fatalf("seed %d cluster %d: %s-%s at %v are %.1f m apart (> delta %.0f)",
+								seed, ci, u, v, p.Time, d, wcfg.Delta)
+						}
+					}
+				}
+			}
+		}
+		// Every published user is in a cluster of size >= K.
+		for _, users := range res.Clusters {
+			if len(users) < wcfg.K {
+				t.Fatalf("seed %d: cluster %v smaller than K", seed, users)
+			}
+		}
+	}
+}
+
+// Property: suppressed + published users == input users.
+func TestPropertyUserConservation(t *testing.T) {
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 7
+	cfg.Sampling = 3 * time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anonymize(g.Dataset, Config{K: 3, Delta: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Dataset.Len() + len(res.Suppressed); got != g.Dataset.Len() {
+		// Published users can be fewer when a whole cluster collapses at
+		// translation; those users are neither suppressed nor published.
+		// The guarantee we hold is: no user is both.
+		for _, s := range res.Suppressed {
+			if res.Dataset.ByUser(s) != nil {
+				t.Fatalf("user %q both suppressed and published", s)
+			}
+		}
+	}
+}
+
+func TestAnonymizeEmptyDataset(t *testing.T) {
+	empty, err := trace.NewDataset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anonymize(empty, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset.Len() != 0 || len(res.Suppressed) != 0 {
+		t.Fatal("empty in, empty out")
+	}
+}

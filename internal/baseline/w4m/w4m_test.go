@@ -1,0 +1,263 @@
+package w4m
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/trace"
+)
+
+var (
+	t0     = time.Date(2015, 6, 30, 8, 0, 0, 0, time.UTC)
+	origin = geo.Point{Lat: 45.7640, Lng: 4.8357}
+)
+
+// band builds n parallel eastbound traces dy meters apart, all starting
+// at t0, 1 hour long, sampled every minute, moving at 5 m/s.
+func band(n int, dy float64) []*trace.Trace {
+	out := make([]*trace.Trace, n)
+	for u := 0; u < n; u++ {
+		var pts []trace.Point
+		for i := 0; i <= 60; i++ {
+			pts = append(pts, trace.Point{
+				Point: geo.Offset(origin, float64(i)*300, float64(u)*dy),
+				Time:  t0.Add(time.Duration(i) * time.Minute),
+			})
+		}
+		out[u] = trace.MustNew(user(u), pts)
+	}
+	return out
+}
+
+func user(u int) string { return string(rune('a'+u)) + "user" }
+
+func TestAnonymizeEnforcesKDelta(t *testing.T) {
+	// 4 users 50 m apart: one cluster, all within delta after translation.
+	d := trace.MustNewDataset(band(4, 50))
+	cfg := Config{K: 4, Delta: 200}
+	res, err := Anonymize(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 0 {
+		t.Fatalf("suppressed %v, want none", res.Suppressed)
+	}
+	if len(res.Clusters) != 1 || len(res.Clusters[0]) != 4 {
+		t.Fatalf("clusters = %v", res.Clusters)
+	}
+	if res.Dataset.Len() != 4 {
+		t.Fatalf("published %d traces", res.Dataset.Len())
+	}
+	// (k,δ) property: at every published instant, every pair is within δ.
+	assertKDelta(t, res.Dataset, cfg.Delta)
+}
+
+func assertKDelta(t *testing.T, d *trace.Dataset, delta float64) {
+	t.Helper()
+	traces := d.Traces()
+	if len(traces) < 2 {
+		return
+	}
+	ref := traces[0]
+	for _, p := range ref.Points {
+		for _, other := range traces[1:] {
+			q, ok := other.At(p.Time)
+			if !ok {
+				continue
+			}
+			if dist := geo.Distance(p.Point, q); dist > delta*1.01 {
+				t.Fatalf("pairwise distance %v m > delta %v at %v", dist, delta, p.Time)
+			}
+		}
+	}
+}
+
+func TestAnonymizeSuppressesOutliers(t *testing.T) {
+	// 4 users close together plus 1 user 50 km away: the loner must be
+	// suppressed.
+	traces := band(4, 50)
+	var far []trace.Point
+	for i := 0; i <= 60; i++ {
+		far = append(far, trace.Point{
+			Point: geo.Offset(origin, float64(i)*300, 50000),
+			Time:  t0.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	traces = append(traces, trace.MustNew("zoner", far))
+	d := trace.MustNewDataset(traces)
+	res, err := Anonymize(d, Config{K: 4, Delta: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 1 || res.Suppressed[0] != "zoner" {
+		t.Fatalf("suppressed = %v, want [zoner]", res.Suppressed)
+	}
+	if res.Dataset.ByUser("zoner") != nil {
+		t.Fatal("outlier must not be published")
+	}
+}
+
+func TestAnonymizeInsufficientUsers(t *testing.T) {
+	// Fewer than K users: everything suppressed, empty dataset.
+	d := trace.MustNewDataset(band(3, 50))
+	res, err := Anonymize(d, Config{K: 4, Delta: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 3 || res.Dataset.Len() != 0 {
+		t.Fatalf("suppressed=%v published=%d", res.Suppressed, res.Dataset.Len())
+	}
+}
+
+func TestAnonymizeDistortsTowardCentroid(t *testing.T) {
+	// 4 users 400 m apart: the band is 1200 m wide, delta is 200 m, so
+	// everyone must be pulled hard toward the centroid.
+	d := trace.MustNewDataset(band(4, 400))
+	cfg := Config{K: 4, Delta: 200, MaxRadius: 10000}
+	res, err := Anonymize(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset.Len() != 4 {
+		t.Fatalf("published %d traces: %v suppressed", res.Dataset.Len(), res.Suppressed)
+	}
+	assertKDelta(t, res.Dataset, cfg.Delta)
+	// Outer users moved by hundreds of meters: distortion is the price
+	// of (k,δ)-anonymity — the failure mode the paper criticizes.
+	outer := res.Dataset.ByUser(user(0))
+	orig := d.ByUser(user(0))
+	var minMove float64 = math.Inf(1)
+	for _, p := range outer.Points {
+		q, ok := orig.At(p.Time)
+		if !ok {
+			continue
+		}
+		if dist := geo.Distance(p.Point, q); dist < minMove {
+			minMove = dist
+		}
+	}
+	if minMove < 300 {
+		t.Errorf("outer user moved only %v m, expected heavy distortion", minMove)
+	}
+}
+
+func TestAnonymizeMultipleClusters(t *testing.T) {
+	// 4 users near origin + 4 users 20 km east: two clusters.
+	a := band(4, 50)
+	var b []*trace.Trace
+	for u := 0; u < 4; u++ {
+		var pts []trace.Point
+		for i := 0; i <= 60; i++ {
+			pts = append(pts, trace.Point{
+				Point: geo.Offset(origin, 20000+float64(i)*300, float64(u)*50),
+				Time:  t0.Add(time.Duration(i) * time.Minute),
+			})
+		}
+		b = append(b, trace.MustNew(user(u)+"2", pts))
+	}
+	d := trace.MustNewDataset(append(a, b...))
+	res, err := Anonymize(d, Config{K: 4, Delta: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %v, want 2", res.Clusters)
+	}
+	if res.Dataset.Len() != 8 {
+		t.Fatalf("published %d traces, want 8", res.Dataset.Len())
+	}
+}
+
+func TestAnonymizePreservesStops(t *testing.T) {
+	// Wait4Me does NOT hide stops: 4 users all parked at nearby spots for
+	// an hour still show stationary clusters after anonymization. This is
+	// the contrast with the paper's mechanism.
+	var traces []*trace.Trace
+	for u := 0; u < 4; u++ {
+		var pts []trace.Point
+		base := geo.Offset(origin, float64(u)*30, 0)
+		for i := 0; i <= 60; i++ {
+			pts = append(pts, trace.Point{
+				Point: geo.Offset(base, float64(i%2), 0),
+				Time:  t0.Add(time.Duration(i) * time.Minute),
+			})
+		}
+		traces = append(traces, trace.MustNew(user(u), pts))
+	}
+	d := trace.MustNewDataset(traces)
+	res, err := Anonymize(d, Config{K: 4, Delta: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Dataset.Traces() {
+		if tr.Length() > 100 {
+			t.Errorf("user %s travels %v m after anonymization; stop structure destroyed", tr.User, tr.Length())
+		}
+	}
+}
+
+func TestAnonymizeGridTimestamps(t *testing.T) {
+	d := trace.MustNewDataset(band(4, 50))
+	res, err := Anonymize(d, Config{K: 4, Delta: 200, Grid: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Dataset.Traces() {
+		for _, p := range tr.Points {
+			if p.Time.Sub(t0)%(2*time.Minute) != 0 {
+				t.Fatalf("timestamp %v not on the 2-minute grid", p.Time)
+			}
+		}
+	}
+}
+
+func TestAnonymizeValidation(t *testing.T) {
+	d := trace.MustNewDataset(band(4, 50))
+	for _, cfg := range []Config{
+		{K: 1, Delta: 100},
+		{K: 4, Delta: 0},
+		{K: 4, Delta: 100, Grid: -time.Second},
+		{K: 4, Delta: 100, MaxRadius: -1},
+	} {
+		if _, err := Anonymize(d, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestAnonymizeShortTraceSuppressed(t *testing.T) {
+	traces := band(4, 50)
+	short := trace.MustNew("short", []trace.Point{
+		{Point: origin, Time: t0},
+		{Point: geo.Offset(origin, 10, 0), Time: t0.Add(10 * time.Second)},
+	})
+	traces = append(traces, short)
+	d := trace.MustNewDataset(traces)
+	res, err := Anonymize(d, Config{K: 4, Delta: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range res.Suppressed {
+		if s == "short" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sub-grid trace should be suppressed, got %v", res.Suppressed)
+	}
+}
+
+func BenchmarkAnonymize(b *testing.B) {
+	d := trace.MustNewDataset(band(8, 100))
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

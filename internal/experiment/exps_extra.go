@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mobipriv"
+	"mobipriv/internal/attack/mmc"
+	"mobipriv/internal/attack/semantic"
+	"mobipriv/internal/core"
+	"mobipriv/internal/geo"
+	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "E13", Title: "Background-knowledge residual (semantic venue attack)", Run: runE13})
+	register(Experiment{ID: "E14", Title: "MMC re-identification (Gambs et al. [1])", Run: runE14})
+}
+
+// runE13 quantifies the paper's own §III caveat: after speed smoothing,
+// an attacker with venue background knowledge still gets "clues" from
+// path proximity but "no certainty". We measure recall@k of true POIs
+// among ranked venues, against the random-guessing floor.
+func runE13(s Scale) (*Table, error) {
+	g, err := commuterWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	// Venue universe: all shared venues plus every user's home (the
+	// attacker knows the city, not the users).
+	venues := append([]geo.Point(nil), g.Venues...)
+	for _, u := range g.Dataset.Users() {
+		if stays := g.StaysOf(u); len(stays) > 0 {
+			venues = append(venues, stays[0].Center)
+		}
+	}
+	truth := make(map[string][]geo.Point)
+	for _, st := range g.Stays {
+		truth[st.User] = appendIfFar(truth[st.User], st.Center, 150)
+	}
+
+	table := &Table{
+		ID:      "E13",
+		Title:   "Semantic venue attack: true-POI recall among top-k venues (commuter workload)",
+		Columns: []string{"publication", "recall@1", "recall@3", "recall@5", "random@5"},
+	}
+	smoothed, _, err := core.SmoothDataset(g.Dataset, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	rows := []struct {
+		name string
+		ds   *trace.Dataset
+	}{
+		{"raw", g.Dataset},
+		{"promesse", smoothed},
+	}
+	cfg := semantic.DefaultConfig()
+	for _, row := range rows {
+		var recalls []string
+		for _, k := range []int{1, 3, 5} {
+			r, err := semantic.RecallAtK(row.ds, venues, truth, k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			recalls = append(recalls, fmtF(r))
+		}
+		table.AddRow(row.name, recalls[0], recalls[1], recalls[2],
+			fmtF(semantic.RandomBaseline(len(venues), 5)))
+	}
+	table.AddNote("venue universe: %d venues (shared venues + homes)", len(venues))
+	table.AddNote("recall@k = fraction of each user's true POIs found among the k best-scored venues; users have 2-4 POIs, so recall@1 is capped well below 1 even for a perfect attacker")
+	table.AddNote("expected shape: raw recall@3 = 1 (certainty); promesse sits between the random floor and raw — clues survive, as §III concedes, but certainty is gone")
+	return table, nil
+}
+
+func appendIfFar(pts []geo.Point, p geo.Point, minDist float64) []geo.Point {
+	for _, q := range pts {
+		if geo.FastDistance(p, q) < minDist {
+			return pts
+		}
+	}
+	return append(pts, p)
+}
+
+// runE14 runs the Mobility-Markov-Chain re-identification of Gambs et
+// al. [1]: train on day 1, attack day 2 under each mechanism.
+func runE14(s Scale) (*Table, error) {
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Days = 2
+	if s == Quick {
+		cfg.Users = 12
+		cfg.Sampling = 2 * time.Minute
+	} else {
+		cfg.Users = 50
+		cfg.Sampling = time.Minute
+	}
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mid := cfg.Start.Add(24 * time.Hour)
+	var trainTraces, testTraces []*trace.Trace
+	for _, tr := range g.Dataset.Traces() {
+		if d1 := tr.Crop(cfg.Start, mid); d1 != nil {
+			trainTraces = append(trainTraces, d1)
+		}
+		if d2 := tr.Crop(mid, cfg.Start.Add(48*time.Hour)); d2 != nil {
+			testTraces = append(testTraces, d2)
+		}
+	}
+	train, err := trace.NewDataset(trainTraces)
+	if err != nil {
+		return nil, err
+	}
+	test, err := trace.NewDataset(testTraces)
+	if err != nil {
+		return nil, err
+	}
+	chains, skipped, err := mmc.BuildAll(train, mmc.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	table := &Table{
+		ID:      "E14",
+		Title:   "MMC re-identification: train day 1, attack day 2 (commuter workload)",
+		Columns: []string{"publication", "re-identified", "rate"},
+	}
+	ident := func(u string) string { return u }
+
+	raw, err := mmc.Reidentify(test, chains, ident, mmc.DefaultConfig(), 500)
+	if err != nil {
+		return nil, err
+	}
+	table.AddRow("raw", fmt.Sprintf("%d/%d", raw.Correct, raw.Total), fmtF(raw.Rate))
+
+	smoothed, _, err := core.SmoothDataset(test, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	sm, err := mmc.Reidentify(smoothed, chains, ident, mmc.DefaultConfig(), 500)
+	if err != nil {
+		return nil, err
+	}
+	table.AddRow("promesse", fmt.Sprintf("%d/%d", sm.Correct, sm.Total), fmtF(sm.Rate))
+
+	a, err := mobipriv.New(mobipriv.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Anonymize(test)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := mmc.Reidentify(res.Dataset, chains, res.MajorityOwner, mmc.DefaultConfig(), 500)
+	if err != nil {
+		return nil, err
+	}
+	table.AddRow("pipeline", fmt.Sprintf("%d/%d", pipe.Correct, pipe.Total), fmtF(pipe.Rate))
+
+	if len(skipped) > 0 {
+		table.AddNote("%d users had no extractable training chain", len(skipped))
+	}
+	table.AddNote("expected shape: raw near 1; promesse stays high (route geometry still passes the user's own POIs — stop hiding is not route hiding); the pipeline's swapping is what breaks chain matching")
+	return table, nil
+}
+
+// zoneEntropy returns the total linkage entropy (bits) the zones supply:
+// each k-participant zone contributes log2(k!).
+func zoneEntropy(participantCounts []int) float64 {
+	var bits float64
+	for _, k := range participantCounts {
+		for i := 2; i <= k; i++ {
+			bits += math.Log2(float64(i))
+		}
+	}
+	return bits
+}

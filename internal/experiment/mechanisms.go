@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobipriv"
+	"mobipriv/internal/baseline/geoind"
+	"mobipriv/internal/baseline/w4m"
+	"mobipriv/internal/core"
+	"mobipriv/internal/trace"
+)
+
+// mechanism is one anonymization under evaluation: a name and an
+// application function. Mechanisms that drop users return the published
+// dataset only; experiments needing ground truth call the underlying
+// packages directly.
+type mechanism struct {
+	name  string
+	apply func(*trace.Dataset) (*trace.Dataset, error)
+}
+
+// standardMechanisms returns the lineup compared throughout the
+// evaluation: raw publication (pseudonyms only, the strawman), the
+// paper's full pipeline, its smoothing-only variant, and the two
+// baselines from the related-work section.
+func standardMechanisms() []mechanism {
+	return []mechanism{
+		{name: "raw", apply: func(d *trace.Dataset) (*trace.Dataset, error) { return d, nil }},
+		{name: "promesse", apply: applySmoothOnly},
+		{name: "pipeline", apply: applyPipeline},
+		{name: "geo-i(0.01)", apply: func(d *trace.Dataset) (*trace.Dataset, error) {
+			return geoind.PerturbDataset(d, geoind.Config{Epsilon: 0.01, Seed: 1})
+		}},
+		{name: "w4m(4,200)", apply: applyW4MDefault},
+	}
+}
+
+func applySmoothOnly(d *trace.Dataset) (*trace.Dataset, error) {
+	out, _, err := core.SmoothDataset(d, core.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: promesse: %w", err)
+	}
+	return out, nil
+}
+
+func applyPipeline(d *trace.Dataset) (*trace.Dataset, error) {
+	a, err := mobipriv.New(mobipriv.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Anonymize(d)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: pipeline: %w", err)
+	}
+	return res.Dataset, nil
+}
+
+func applyW4MDefault(d *trace.Dataset) (*trace.Dataset, error) {
+	res, err := w4m.Anonymize(d, w4m.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: w4m: %w", err)
+	}
+	return res.Dataset, nil
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"mobipriv/internal/synth"
+)
+
+// commuterWorkload returns the Geolife-like workload at the given scale.
+func commuterWorkload(s Scale) (*synth.Generated, error) {
+	cfg := synth.DefaultCommuterConfig()
+	switch s {
+	case Quick:
+		cfg.Users = 12
+		cfg.Sampling = 2 * time.Minute
+	default:
+		cfg.Users = 50
+		cfg.Sampling = time.Minute
+	}
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: commuter workload: %w", err)
+	}
+	return g, nil
+}
+
+// commuterWorkloadN returns a commuter workload with an explicit user
+// count (density sweeps).
+func commuterWorkloadN(s Scale, users int) (*synth.Generated, error) {
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = users
+	if s == Quick {
+		cfg.Sampling = 2 * time.Minute
+	} else {
+		cfg.Sampling = time.Minute
+	}
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: commuter workload (%d users): %w", users, err)
+	}
+	return g, nil
+}
+
+// taxiWorkload returns the Cabspotting-like workload at the given scale.
+func taxiWorkload(s Scale) (*synth.Generated, error) {
+	cfg := synth.DefaultTaxiConfig()
+	switch s {
+	case Quick:
+		cfg.Vehicles = 10
+		cfg.TripsEach = 4
+		cfg.Sampling = time.Minute
+	default:
+		cfg.Vehicles = 40
+		cfg.TripsEach = 8
+		cfg.Sampling = 30 * time.Second
+	}
+	g, err := synth.TaxiFleet(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: taxi workload: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,207 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// zigzag builds a polyline of n segments of the given length with
+// alternating bearings, starting at lyon.
+func zigzag(n int, segLen float64) []Point {
+	pts := make([]Point, 0, n+1)
+	p := lyon
+	pts = append(pts, p)
+	for i := 0; i < n; i++ {
+		brg := 45.0
+		if i%2 == 1 {
+			brg = 135
+		}
+		p = Destination(p, brg, segLen)
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func TestNewPolylineErrors(t *testing.T) {
+	if _, err := NewPolyline(nil); err == nil {
+		t.Fatal("NewPolyline(nil) should fail")
+	}
+	if _, err := NewPolyline([]Point{lyon}); err != nil {
+		t.Fatalf("single-vertex polyline should be allowed: %v", err)
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	pts := zigzag(10, 100)
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Length(); math.Abs(got-1000) > 0.01 {
+		t.Fatalf("Length = %v, want 1000", got)
+	}
+	if pl.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", pl.Len())
+	}
+	if got := pl.CumLength(5); math.Abs(got-500) > 0.01 {
+		t.Fatalf("CumLength(5) = %v, want 500", got)
+	}
+}
+
+func TestPolylineImmutable(t *testing.T) {
+	pts := zigzag(3, 50)
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := pl.Vertex(0)
+	pts[0] = Offset(lyon, 9999, 9999)
+	if !pl.Vertex(0).Equal(orig) {
+		t.Fatal("polyline must copy its input slice")
+	}
+}
+
+func TestPointAt(t *testing.T) {
+	pl, err := NewPolyline(zigzag(4, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.PointAt(-5); !got.Equal(pl.Vertex(0)) {
+		t.Error("PointAt(<0) should clamp to start")
+	}
+	if got := pl.PointAt(99999); !got.Equal(pl.Vertex(4)) {
+		t.Error("PointAt(>len) should clamp to end")
+	}
+	// A point exactly at a vertex distance.
+	if got := pl.PointAt(250); FastDistance(got, pl.Vertex(1)) > 0.01 {
+		t.Errorf("PointAt(250) = %v, want vertex 1", got)
+	}
+	// A mid-segment point is 125 m from both surrounding vertices.
+	m := pl.PointAt(125)
+	if d := Distance(pl.Vertex(0), m); math.Abs(d-125) > 0.05 {
+		t.Errorf("PointAt(125): distance from v0 = %v", d)
+	}
+}
+
+func TestPointAtDegenerateSegment(t *testing.T) {
+	// Repeated vertices create zero-length segments; PointAt must not
+	// divide by zero.
+	pts := []Point{lyon, lyon, Destination(lyon, 90, 100), lyon}
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pl.PointAt(50)
+	if d := Distance(lyon, got); math.Abs(d-50) > 0.05 {
+		t.Fatalf("PointAt(50) over degenerate segment: %v m from start", d)
+	}
+}
+
+func TestResample(t *testing.T) {
+	pl, err := NewPolyline(zigzag(8, 125))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pl.Resample(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 11 {
+		t.Fatalf("Resample(11) returned %d points", len(out))
+	}
+	if !out[0].Equal(pl.Vertex(0)) || FastDistance(out[10], pl.Vertex(8)) > 1e-6 {
+		t.Fatal("Resample must include both endpoints")
+	}
+	// Even spacing: consecutive distances along the line are equal.
+	step := pl.Length() / 10
+	for i := 1; i < len(out); i++ {
+		d := Distance(out[i-1], out[i])
+		// Chord distance can be slightly below arc distance on corners;
+		// allow 10% slack (the zigzag has sharp 90-degree corners).
+		if d > step*1.05 {
+			t.Errorf("gap %d = %v, step %v", i, d, step)
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	pl, err := NewPolyline(zigzag(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Resample(0); err == nil {
+		t.Error("Resample(0) should fail")
+	}
+	if _, err := pl.Resample(1); err == nil {
+		t.Error("Resample(1) on non-degenerate polyline should fail")
+	}
+	single, err := NewPolyline([]Point{lyon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := single.Resample(1)
+	if err != nil || len(out) != 1 {
+		t.Errorf("Resample(1) on degenerate polyline: %v, %v", out, err)
+	}
+}
+
+func TestResampleEvery(t *testing.T) {
+	pl, err := NewPolyline(zigzag(10, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pl.ResampleEvery(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 m at 100 m spacing: starts at 0,100,...,900 plus final vertex.
+	if len(out) != 11 {
+		t.Fatalf("ResampleEvery(100) returned %d points, want 11", len(out))
+	}
+	if _, err := pl.ResampleEvery(0); err == nil {
+		t.Error("ResampleEvery(0) should fail")
+	}
+	if _, err := pl.ResampleEvery(-10); err == nil {
+		t.Error("ResampleEvery(-10) should fail")
+	}
+}
+
+func TestResampleEveryDegenerate(t *testing.T) {
+	pl, err := NewPolyline([]Point{lyon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pl.ResampleEvery(50)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("degenerate ResampleEvery: %v, %v", out, err)
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	q := Destination(lyon, 60, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(lyon, q)
+	}
+}
+
+func BenchmarkFastDistance(b *testing.B) {
+	q := Destination(lyon, 60, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = FastDistance(lyon, q)
+	}
+}
+
+func BenchmarkPointAt(b *testing.B) {
+	pl, err := NewPolyline(zigzag(1000, 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := pl.Length()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pl.PointAt(float64(i%1000) / 1000 * total)
+	}
+}

@@ -1,0 +1,68 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistanceToSegment(t *testing.T) {
+	a := lyon
+	b := Destination(lyon, 90, 1000) // 1 km east
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"on segment start", a, 0},
+		{"on segment end", b, 0},
+		{"on segment middle", Destination(lyon, 90, 500), 0},
+		{"north of middle", Offset(Destination(lyon, 90, 500), 0, 200), 200},
+		{"beyond end", Destination(lyon, 90, 1300), 300},
+		{"before start", Destination(lyon, 270, 250), 250},
+		{"diagonal off end", Offset(b, 300, 400), 500},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := DistanceToSegment(tt.p, a, b)
+			if math.Abs(got-tt.want) > tt.want*0.005+0.5 {
+				t.Errorf("DistanceToSegment = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceToSegmentDegenerate(t *testing.T) {
+	p := Offset(lyon, 120, 0)
+	if got := DistanceToSegment(p, lyon, lyon); math.Abs(got-120) > 0.5 {
+		t.Fatalf("degenerate segment distance = %v, want 120", got)
+	}
+}
+
+func TestPolylineDistanceTo(t *testing.T) {
+	pts := []Point{
+		lyon,
+		Destination(lyon, 90, 1000),
+		Destination(Destination(lyon, 90, 1000), 0, 1000),
+	}
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point 150 m north of the middle of the first segment.
+	probe := Offset(Destination(lyon, 90, 500), 0, 150)
+	if got := pl.DistanceTo(probe); math.Abs(got-150) > 1 {
+		t.Errorf("DistanceTo = %v, want 150", got)
+	}
+	// A vertex itself.
+	if got := pl.DistanceTo(pts[1]); got > 0.01 {
+		t.Errorf("DistanceTo(vertex) = %v, want 0", got)
+	}
+	// Single-vertex polyline.
+	single, err := NewPolyline([]Point{lyon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.DistanceTo(Offset(lyon, 30, 40)); math.Abs(got-50) > 0.5 {
+		t.Errorf("single-vertex DistanceTo = %v, want 50", got)
+	}
+}

@@ -1,0 +1,361 @@
+// Package metrics implements the utility measures of the evaluation:
+// spatial distortion, area coverage, trip-length preservation,
+// origin–destination flows, popular-cell ranking and range-query
+// accuracy. Together they quantify the paper's utility claim — that
+// distorting time instead of space keeps published data useful for
+// spatial analyses.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/stats"
+	"mobipriv/internal/trace"
+)
+
+// ErrNoCommonUsers reports that two datasets share no user identifiers.
+var ErrNoCommonUsers = errors.New("metrics: datasets share no users")
+
+// TraceDistortion returns the spatial distortion sample of one
+// anonymized trace versus its original: for every published point, the
+// distance in meters to the original path (pure geometry — time is
+// ignored, because the mechanism under evaluation distorts time by
+// design).
+func TraceDistortion(orig, anon *trace.Trace) ([]float64, error) {
+	pl, err := orig.Polyline()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: original path: %w", err)
+	}
+	out := make([]float64, anon.Len())
+	for i, p := range anon.Points {
+		out[i] = pl.DistanceTo(p.Point)
+	}
+	return out, nil
+}
+
+// CompletenessDistortion measures the opposite direction: for every
+// original point, the distance to the published path. Large values mean
+// parts of the original journey are missing from the publication
+// (trimming, suppression, heavy perturbation).
+func CompletenessDistortion(orig, anon *trace.Trace) ([]float64, error) {
+	pl, err := anon.Polyline()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: published path: %w", err)
+	}
+	out := make([]float64, orig.Len())
+	for i, p := range orig.Points {
+		out[i] = pl.DistanceTo(p.Point)
+	}
+	return out, nil
+}
+
+// DatasetDistortion pools TraceDistortion over all users present in both
+// datasets (matched by identifier). Users missing from either side are
+// skipped; it is an error if no user matches.
+func DatasetDistortion(orig, anon *trace.Dataset) ([]float64, error) {
+	var pooled []float64
+	matched := false
+	for _, at := range anon.Traces() {
+		ot := orig.ByUser(at.User)
+		if ot == nil {
+			continue
+		}
+		matched = true
+		ds, err := TraceDistortion(ot, at)
+		if err != nil {
+			return nil, err
+		}
+		pooled = append(pooled, ds...)
+	}
+	if !matched {
+		return nil, ErrNoCommonUsers
+	}
+	return pooled, nil
+}
+
+// DatasetCompleteness pools CompletenessDistortion over all users
+// present in both datasets (matched by identifier): for every original
+// observation, the distance to the user's published path. It is the
+// direction in which trimming, suppression and corner-cutting show up.
+func DatasetCompleteness(orig, anon *trace.Dataset) ([]float64, error) {
+	var pooled []float64
+	matched := false
+	for _, at := range anon.Traces() {
+		ot := orig.ByUser(at.User)
+		if ot == nil {
+			continue
+		}
+		matched = true
+		ds, err := CompletenessDistortion(ot, at)
+		if err != nil {
+			return nil, err
+		}
+		pooled = append(pooled, ds...)
+	}
+	if !matched {
+		return nil, ErrNoCommonUsers
+	}
+	return pooled, nil
+}
+
+// CoverageResult reports how well the published dataset covers the
+// geographic cells visited in the original.
+type CoverageResult struct {
+	Precision float64 // fraction of published cells that are genuine
+	Recall    float64 // fraction of original cells still covered
+	F1        float64
+	OrigCells int
+	AnonCells int
+}
+
+// Coverage rasterizes both datasets onto a square grid of the given cell
+// size (meters) and compares the visited-cell sets.
+func Coverage(orig, anon *trace.Dataset, cellSize float64) (CoverageResult, error) {
+	if cellSize <= 0 {
+		return CoverageResult{}, fmt.Errorf("metrics: cell size %v must be positive", cellSize)
+	}
+	center := orig.Bounds().Center()
+	oc := visitedCells(orig, center, cellSize)
+	ac := visitedCells(anon, center, cellSize)
+	var hit int
+	for c := range ac {
+		if oc[c] {
+			hit++
+		}
+	}
+	res := CoverageResult{OrigCells: len(oc), AnonCells: len(ac)}
+	if len(ac) > 0 {
+		res.Precision = float64(hit) / float64(len(ac))
+	}
+	if len(oc) > 0 {
+		res.Recall = float64(hit) / float64(len(oc))
+	}
+	if res.Precision+res.Recall > 0 {
+		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	return res, nil
+}
+
+type cellID struct{ x, y int }
+
+func visitedCells(d *trace.Dataset, center geo.Point, cellSize float64) map[cellID]bool {
+	proj := geo.NewProjector(center)
+	out := make(map[cellID]bool)
+	for _, tr := range d.Traces() {
+		for _, p := range tr.Points {
+			v := proj.ToXY(p.Point)
+			out[cellID{int(math.Floor(v.X / cellSize)), int(math.Floor(v.Y / cellSize))}] = true
+		}
+	}
+	return out
+}
+
+// LengthStats compares the distribution of per-user travelled distances.
+type LengthStats struct {
+	OrigMean, AnonMean     float64
+	OrigMedian, AnonMedian float64
+	// MeanRelError is |AnonMean - OrigMean| / OrigMean.
+	MeanRelError float64
+	// DecileError is the mean absolute relative error across the nine
+	// deciles of the two length distributions (a cheap earth-mover
+	// proxy).
+	DecileError float64
+}
+
+// TripLengths compares trace length distributions of the two datasets.
+func TripLengths(orig, anon *trace.Dataset) (LengthStats, error) {
+	ol := traceLengths(orig)
+	al := traceLengths(anon)
+	if len(ol) == 0 || len(al) == 0 {
+		return LengthStats{}, errors.New("metrics: empty dataset")
+	}
+	ls := LengthStats{
+		OrigMean:   stats.Mean(ol),
+		AnonMean:   stats.Mean(al),
+		OrigMedian: stats.Median(ol),
+		AnonMedian: stats.Median(al),
+	}
+	if ls.OrigMean > 0 {
+		ls.MeanRelError = math.Abs(ls.AnonMean-ls.OrigMean) / ls.OrigMean
+	}
+	var sum float64
+	var n int
+	for q := 0.1; q < 0.95; q += 0.1 {
+		oq := stats.Quantile(ol, q)
+		aq := stats.Quantile(al, q)
+		if oq > 0 {
+			sum += math.Abs(aq-oq) / oq
+			n++
+		}
+	}
+	if n > 0 {
+		ls.DecileError = sum / float64(n)
+	}
+	return ls, nil
+}
+
+func traceLengths(d *trace.Dataset) []float64 {
+	out := make([]float64, 0, d.Len())
+	for _, tr := range d.Traces() {
+		out = append(out, tr.Length())
+	}
+	return out
+}
+
+// ODResult reports origin–destination flow preservation: each trace
+// contributes one (start cell, end cell) pair; flows are compared as
+// multisets.
+type ODResult struct {
+	// Accuracy is the overlap fraction: sum over OD pairs of
+	// min(orig,anon) counts divided by the number of original traces.
+	Accuracy float64
+	OrigOD   int // distinct OD pairs in the original
+	AnonOD   int
+}
+
+// ODFlows compares origin–destination flows on the given cell size. The
+// paper predicts this query class breaks under swapping — E11 quantifies
+// exactly that.
+func ODFlows(orig, anon *trace.Dataset, cellSize float64) (ODResult, error) {
+	if cellSize <= 0 {
+		return ODResult{}, fmt.Errorf("metrics: cell size %v must be positive", cellSize)
+	}
+	if orig.Len() == 0 {
+		return ODResult{}, errors.New("metrics: empty original dataset")
+	}
+	center := orig.Bounds().Center()
+	of := odCounts(orig, center, cellSize)
+	af := odCounts(anon, center, cellSize)
+	var overlap int
+	for k, oc := range of {
+		if ac := af[k]; ac < oc {
+			overlap += ac
+		} else {
+			overlap += oc
+		}
+	}
+	return ODResult{
+		Accuracy: float64(overlap) / float64(orig.Len()),
+		OrigOD:   len(of),
+		AnonOD:   len(af),
+	}, nil
+}
+
+type odKey struct{ o, d cellID }
+
+func odCounts(d *trace.Dataset, center geo.Point, cellSize float64) map[odKey]int {
+	proj := geo.NewProjector(center)
+	cell := func(p geo.Point) cellID {
+		v := proj.ToXY(p)
+		return cellID{int(math.Floor(v.X / cellSize)), int(math.Floor(v.Y / cellSize))}
+	}
+	out := make(map[odKey]int)
+	for _, tr := range d.Traces() {
+		out[odKey{cell(tr.Start().Point), cell(tr.End().Point)}]++
+	}
+	return out
+}
+
+// PopularCellsTau ranks grid cells by visit count in the original
+// dataset, takes the top n, and returns the Kendall rank correlation of
+// their counts in original versus anonymized data. 1 means the
+// popularity ranking is perfectly preserved.
+func PopularCellsTau(orig, anon *trace.Dataset, cellSize float64, n int) (float64, error) {
+	if cellSize <= 0 || n <= 1 {
+		return 0, fmt.Errorf("metrics: need positive cell size and n > 1 (got %v, %d)", cellSize, n)
+	}
+	center := orig.Bounds().Center()
+	oc := cellCounts(orig, center, cellSize)
+	ac := cellCounts(anon, center, cellSize)
+	type cc struct {
+		id cellID
+		n  int
+	}
+	ranked := make([]cc, 0, len(oc))
+	for id, cnt := range oc {
+		ranked = append(ranked, cc{id, cnt})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		if ranked[i].id.x != ranked[j].id.x {
+			return ranked[i].id.x < ranked[j].id.x
+		}
+		return ranked[i].id.y < ranked[j].id.y
+	})
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	if n < 2 {
+		return 0, errors.New("metrics: fewer than 2 populated cells")
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(ranked[i].n)
+		ys[i] = float64(ac[ranked[i].id])
+	}
+	return stats.KendallTau(xs, ys), nil
+}
+
+func cellCounts(d *trace.Dataset, center geo.Point, cellSize float64) map[cellID]int {
+	proj := geo.NewProjector(center)
+	out := make(map[cellID]int)
+	for _, tr := range d.Traces() {
+		for _, p := range tr.Points {
+			v := proj.ToXY(p.Point)
+			out[cellID{int(math.Floor(v.X / cellSize)), int(math.Floor(v.Y / cellSize))}]++
+		}
+	}
+	return out
+}
+
+// RangeQueryError runs n random disc-counting queries (uniform centers
+// over the original bounding box, fixed radius) against both datasets
+// and returns the per-query relative error of the normalized density:
+// the fraction of each dataset's observations inside the disc. Using
+// fractions rather than raw counts keeps the metric meaningful for
+// mechanisms that change the total number of published points
+// (smoothing, suppression).
+func RangeQueryError(orig, anon *trace.Dataset, n int, radius float64, seed int64) ([]float64, error) {
+	if n <= 0 || radius <= 0 {
+		return nil, fmt.Errorf("metrics: need positive query count and radius (got %d, %v)", n, radius)
+	}
+	box := orig.Bounds()
+	if box.IsEmpty() {
+		return nil, errors.New("metrics: empty original dataset")
+	}
+	origTotal := float64(orig.TotalPoints())
+	anonTotal := math.Max(float64(anon.TotalPoints()), 1)
+	rng := rand.New(rand.NewSource(seed))
+	errsOut := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := geo.Point{
+			Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
+			Lng: box.MinLng + rng.Float64()*(box.MaxLng-box.MinLng),
+		}
+		of := float64(countWithin(orig, q, radius)) / origTotal
+		af := float64(countWithin(anon, q, radius)) / anonTotal
+		denom := math.Max(of, 1/origTotal) // one original point's worth of density
+		errsOut = append(errsOut, math.Abs(af-of)/denom)
+	}
+	return errsOut, nil
+}
+
+func countWithin(d *trace.Dataset, q geo.Point, radius float64) int {
+	var n int
+	for _, tr := range d.Traces() {
+		for _, p := range tr.Points {
+			if geo.FastDistance(p.Point, q) <= radius {
+				n++
+			}
+		}
+	}
+	return n
+}

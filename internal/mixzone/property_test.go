@@ -1,0 +1,132 @@
+package mixzone
+
+import (
+	"testing"
+	"time"
+
+	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
+)
+
+// applyOnWorkload runs Apply on a small synthetic workload with the
+// given seed, returning the inputs and the result.
+func applyOnWorkload(t *testing.T, seed int64) (*trace.Dataset, *Result) {
+	t.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Seed = seed
+	cfg.Users = 8
+	cfg.Sampling = 2 * time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultConfig()
+	mcfg.SwapSeed = seed
+	res, err := Apply(g.Dataset, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Dataset, res
+}
+
+// Property: points are conserved — every input observation is either
+// published or counted as suppressed.
+func TestPropertyPointConservation(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in, res := applyOnWorkload(t, seed)
+		if got := res.Dataset.TotalPoints() + res.Suppressed; got != in.TotalPoints() {
+			t.Fatalf("seed %d: %d published + %d suppressed != %d input",
+				seed, res.Dataset.TotalPoints(), res.Suppressed, in.TotalPoints())
+		}
+	}
+}
+
+// Property: at every instant the identity assignment is a bijection —
+// no two original users are ever published under the same identity at
+// overlapping times.
+func TestPropertyIdentityBijection(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		_, res := applyOnWorkload(t, seed)
+		// For every pair of segments with the same output identity,
+		// either they belong to the same original user or their time
+		// ranges do not overlap (except at the single boundary instant).
+		for i, a := range res.Segments {
+			for _, b := range res.Segments[i+1:] {
+				if a.Output != b.Output || a.Original == b.Original {
+					continue
+				}
+				if a.From.Before(b.To) && b.From.Before(a.To) {
+					t.Fatalf("seed %d: identity %q carries both %q and %q during overlapping ranges [%v,%v] and [%v,%v]",
+						seed, a.Output, a.Original, b.Original, a.From, a.To, b.From, b.To)
+				}
+			}
+		}
+	}
+}
+
+// Property: the published dataset is always a valid dataset (sorted
+// times, unique users) regardless of the swap pattern.
+func TestPropertyOutputValidity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		_, res := applyOnWorkload(t, seed)
+		if err := res.Dataset.Validate(); err != nil {
+			t.Fatalf("seed %d: published dataset invalid: %v", seed, err)
+		}
+	}
+}
+
+// Property: zone participants always contains at least two distinct
+// users, sorted.
+func TestPropertyZoneWellFormed(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		_, res := applyOnWorkload(t, seed)
+		for zi, z := range res.Zones {
+			if len(z.Participants) < 2 {
+				t.Fatalf("seed %d zone %d has %d participants", seed, zi, len(z.Participants))
+			}
+			for i := 1; i < len(z.Participants); i++ {
+				if z.Participants[i-1] >= z.Participants[i] {
+					t.Fatalf("seed %d zone %d participants not sorted/unique: %v",
+						seed, zi, z.Participants)
+				}
+			}
+			if z.Radius <= 0 {
+				t.Fatalf("seed %d zone %d has radius %v", seed, zi, z.Radius)
+			}
+		}
+	}
+}
+
+// Property: swaps only permute identities among zone participants — the
+// assignment values of a swap record are exactly the identities its
+// participants carried before the zone.
+func TestPropertySwapsArePermutations(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		_, res := applyOnWorkload(t, seed)
+		for si, rec := range res.Swaps {
+			seen := make(map[string]int)
+			for _, out := range rec.Assignment {
+				seen[out]++
+			}
+			for out, n := range seen {
+				if n != 1 {
+					t.Fatalf("seed %d swap %d: identity %q assigned %d times", seed, si, out, n)
+				}
+			}
+			if len(rec.Assignment) != len(rec.Zone.Participants) {
+				t.Fatalf("seed %d swap %d: %d assignments for %d participants",
+					seed, si, len(rec.Assignment), len(rec.Zone.Participants))
+			}
+		}
+	}
+}
+
+// Property: zones are chronological.
+func TestPropertyZonesChronological(t *testing.T) {
+	_, res := applyOnWorkload(t, 4)
+	for i := 1; i < len(res.Zones); i++ {
+		if res.Zones[i].Time.Before(res.Zones[i-1].Time) {
+			t.Fatalf("zones out of order at %d", i)
+		}
+	}
+}

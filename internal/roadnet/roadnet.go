@@ -1,0 +1,172 @@
+// Package roadnet provides a synthetic road network substrate: a
+// Manhattan-style grid with diagonal avenues, Dijkstra shortest-path
+// routing, and helpers to route trips along shared streets.
+//
+// Its purpose in the reproduction: the plain commuter generator routes
+// each trip on its own jittered line, so almost all natural mix-zones
+// come from *venue co-location*. Real cities funnel traffic through
+// shared roads, producing *kinetic crossings* — the zone type where
+// trajectory swapping has to beat a velocity-predicting tracker. The
+// road-based workload (synth.RoadCommuters) exercises exactly that
+// regime; E15 compares the two.
+package roadnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"mobipriv/internal/geo"
+)
+
+// Network is an undirected road graph embedded in the plane.
+//
+// Build one with NewGrid; it is immutable afterwards and safe for
+// concurrent routing.
+type Network struct {
+	nodes []geo.Point
+	adj   [][]edge // adjacency list
+}
+
+type edge struct {
+	to   int
+	dist float64
+}
+
+// NewGrid builds a rows×cols street grid centred at center with the
+// given block size in meters, plus the two main diagonals as avenues
+// (they create funnel points where many routes cross).
+func NewGrid(center geo.Point, rows, cols int, blockSize float64) (*Network, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("roadnet: need at least a 2x2 grid, got %dx%d", rows, cols)
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("roadnet: block size %v must be positive", blockSize)
+	}
+	n := &Network{nodes: make([]geo.Point, rows*cols)}
+	n.adj = make([][]edge, rows*cols)
+	// Node layout: row-major, origin at the grid's south-west corner.
+	west := -float64(cols-1) / 2 * blockSize
+	south := -float64(rows-1) / 2 * blockSize
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n.nodes[r*cols+c] = geo.Offset(center, west+float64(c)*blockSize, south+float64(r)*blockSize)
+		}
+	}
+	connect := func(a, b int) {
+		d := geo.Distance(n.nodes[a], n.nodes[b])
+		n.adj[a] = append(n.adj[a], edge{to: b, dist: d})
+		n.adj[b] = append(n.adj[b], edge{to: a, dist: d})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			if c+1 < cols {
+				connect(id, id+1)
+			}
+			if r+1 < rows {
+				connect(id, id+cols)
+			}
+			// Diagonal avenues through the center.
+			if r+1 < rows && c+1 < cols && (r == c || r+c == rows-1) {
+				connect(id, (r+1)*cols+c+1)
+			}
+			if r+1 < rows && c > 0 && (r+c == cols-1 || r == c) {
+				connect(id, (r+1)*cols+c-1)
+			}
+		}
+	}
+	return n, nil
+}
+
+// NumNodes returns the number of intersections.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Node returns the position of intersection i.
+func (n *Network) Node(i int) geo.Point { return n.nodes[i] }
+
+// Nearest returns the intersection closest to p.
+func (n *Network) Nearest(p geo.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for i, q := range n.nodes {
+		if d := geo.FastDistance(p, q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// ErrNoRoute reports a disconnected origin/destination pair (cannot
+// happen on grids built by NewGrid, but Route guards anyway).
+var ErrNoRoute = errors.New("roadnet: no route")
+
+// Route returns the shortest path between the intersections nearest to
+// from and to, as a polyline of node positions starting at from's
+// nearest node and ending at to's nearest node.
+func (n *Network) Route(from, to geo.Point) ([]geo.Point, error) {
+	src := n.Nearest(from)
+	dst := n.Nearest(to)
+	if src == dst {
+		return []geo.Point{n.nodes[src]}, nil
+	}
+	const unvisited = -1
+	prev := make([]int, len(n.nodes))
+	dist := make([]float64, len(n.nodes))
+	for i := range prev {
+		prev[i] = unvisited
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &nodeQueue{{id: src, dist: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeItem)
+		if cur.id == dst {
+			break
+		}
+		if cur.dist > dist[cur.id] {
+			continue // stale entry
+		}
+		for _, e := range n.adj[cur.id] {
+			if nd := cur.dist + e.dist; nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = cur.id
+				heap.Push(pq, nodeItem{id: e.to, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, ErrNoRoute
+	}
+	// Reconstruct.
+	var rev []int
+	for at := dst; at != src; at = prev[at] {
+		rev = append(rev, at)
+	}
+	rev = append(rev, src)
+	out := make([]geo.Point, len(rev))
+	for i := range rev {
+		out[i] = n.nodes[rev[len(rev)-1-i]]
+	}
+	return out, nil
+}
+
+// nodeItem / nodeQueue implement container/heap for Dijkstra.
+type nodeItem struct {
+	id   int
+	dist float64
+}
+
+type nodeQueue []nodeItem
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(nodeItem)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,305 @@
+// Package stats provides the small set of descriptive statistics used by
+// the evaluation harness: moments, quantiles, histograms, empirical CDFs
+// and rank correlation. Everything operates on float64 slices and is
+// deliberately allocation-light.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports a statistic requested over an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance, or 0 for samples of size < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest value; it panics on an empty sample.
+func Min(xs []float64) float64 {
+	mustNonEmpty(xs)
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value; it panics on an empty sample.
+func Max(xs []float64) float64 {
+	mustNonEmpty(xs)
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func mustNonEmpty(xs []float64) {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the sample using
+// linear interpolation between order statistics (type-7, the default of
+// R and NumPy). It panics on an empty sample and on q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	mustNonEmpty(xs)
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary holds the descriptive statistics reported in experiment tables.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary in a single sort. It returns the zero
+// Summary for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(sorted),
+		Mean:   Mean(sorted),
+		StdDev: StdDev(sorted),
+		Min:    sorted[0],
+		P25:    quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		P75:    quantileSorted(sorted, 0.75),
+		P95:    quantileSorted(sorted, 0.95),
+		P99:    quantileSorted(sorted, 0.99),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// String implements fmt.Stringer with a compact one-line format.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample (copied).
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Inverse returns the smallest sample value v with P(X <= v) >= p.
+func (c *CDF) Inverse(p float64) float64 {
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Series samples the CDF at n evenly spaced probabilities for plotting,
+// returning (value, probability) pairs.
+func (c *CDF) Series(n int) [][2]float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		out[i] = [2]float64{c.Inverse(p), p}
+	}
+	return out
+}
+
+// Histogram is a fixed-width binning of a sample.
+type Histogram struct {
+	Lo, Hi float64 // range covered
+	Width  float64 // bin width
+	Counts []int   // one per bin
+	Under  int     // values below Lo
+	Over   int     // values at or above Hi
+}
+
+// NewHistogram bins the sample into n equal bins over [lo, hi).
+func NewHistogram(xs []float64, lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram bins %d <= 0", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Width: (hi - lo) / float64(n), Counts: make([]int, n)}
+	for _, x := range xs {
+		switch {
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			i := int((x - lo) / h.Width)
+			if i >= n { // guard against floating-point edge
+				i = n - 1
+			}
+			h.Counts[i]++
+		}
+	}
+	return h, nil
+}
+
+// Total returns the number of in-range samples.
+func (h *Histogram) Total() int {
+	var n int
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples. It returns 0 when either sample is constant or shorter than 2.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// KendallTau returns the Kendall rank correlation (tau-b, which corrects
+// for ties) of two equal-length samples; used to compare popularity
+// rankings before and after anonymization. Identical samples give 1 even
+// in the presence of tied values. Returns 0 for samples shorter than 2
+// or when either sample is constant.
+func KendallTau(xs, ys []float64) float64 {
+	n := len(xs)
+	if len(ys) != n || n < 2 {
+		return 0
+	}
+	var concordant, discordant, tiesX, tiesY int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a := xs[i] - xs[j]
+			b := ys[i] - ys[j]
+			switch {
+			case a == 0 && b == 0:
+				tiesX++
+				tiesY++
+			case a == 0:
+				tiesX++
+			case b == 0:
+				tiesY++
+			case a*b > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	denom := math.Sqrt(float64(pairs-tiesX) * float64(pairs-tiesY))
+	if denom == 0 {
+		return 0
+	}
+	tau := float64(concordant-discordant) / denom
+	// Clamp floating-point overshoot so that perfect agreement is exactly ±1.
+	if tau > 1 {
+		tau = 1
+	} else if tau < -1 {
+		tau = -1
+	}
+	return tau
+}

@@ -1,0 +1,167 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/roadnet"
+	"mobipriv/internal/trace"
+)
+
+// builder incrementally constructs one user's trace by alternating stays
+// and travels, emitting GPS observations at the configured sampling
+// interval with Gaussian position noise, and recording ground-truth
+// stays.
+type builder struct {
+	rng      *rand.Rand
+	sampling time.Duration
+	noise    float64
+	user     string
+
+	cur   geo.Point // true (noise-free) current position
+	now   time.Time // current simulation time
+	last  time.Time // time of the last emitted observation
+	pts   []trace.Point
+	stays []Stay
+}
+
+func newBuilder(rng *rand.Rand, sampling time.Duration, noise float64, user string) *builder {
+	return &builder{rng: rng, sampling: sampling, noise: noise, user: user}
+}
+
+// emit records one observation of the current position at the current
+// time, with GPS noise. Observations less than one sampling interval
+// apart are suppressed to keep the trace realistic (a GPS logger cannot
+// fire faster than its configured rate).
+func (b *builder) emit() {
+	if len(b.pts) > 0 && b.now.Sub(b.last) < b.sampling {
+		return
+	}
+	p := b.cur
+	if b.noise > 0 {
+		p = geo.Offset(p, b.rng.NormFloat64()*b.noise, b.rng.NormFloat64()*b.noise)
+	}
+	b.pts = append(b.pts, trace.Point{Point: p, Time: b.now})
+	b.last = b.now
+}
+
+// stayUntil keeps the user (almost) stationary at center until the given
+// instant, emitting observations at the sampling rate. If the stop is
+// long enough it is recorded as a ground-truth Stay.
+func (b *builder) stayUntil(center geo.Point, until time.Time) {
+	if until.Before(b.now) {
+		return
+	}
+	enter := b.now
+	b.cur = center
+	for !b.now.After(until) {
+		b.emit()
+		b.now = b.now.Add(b.sampling)
+	}
+	// Leave time is the requested one, not the last sample time.
+	if until.Sub(enter) >= MinStayLabel {
+		b.stays = append(b.stays, Stay{User: b.user, Center: center, Enter: enter, Leave: until})
+	}
+	b.now = until.Add(time.Nanosecond) // strictly increasing times
+}
+
+// travel moves the user from the current position to dest along a
+// slightly curved route at (approximately) the given speed, emitting
+// observations along the way. On arrival the current position is exactly
+// dest.
+func (b *builder) travel(dest geo.Point, speed float64) {
+	if speed <= 0 {
+		speed = 1
+	}
+	route := b.route(b.cur, dest)
+	pl, err := geo.NewPolyline(route)
+	if err != nil || pl.Length() == 0 {
+		b.cur = dest
+		return
+	}
+	total := pl.Length()
+	for travelled := 0.0; travelled < total; {
+		// Advance one sampling step at a slightly varying speed.
+		step := speed * (0.9 + b.rng.Float64()*0.2) * b.sampling.Seconds()
+		travelled += step
+		if travelled > total {
+			travelled = total
+		}
+		b.cur = pl.PointAt(travelled)
+		b.now = b.now.Add(b.sampling)
+		b.emit()
+	}
+	b.cur = dest
+}
+
+// travelVia moves the user to dest along the road network's shortest
+// path (from the current position's nearest intersection, through the
+// grid, to dest), emitting observations like travel. On arrival the
+// current position is exactly dest.
+func (b *builder) travelVia(net *roadnet.Network, dest geo.Point, speed float64) error {
+	if speed <= 0 {
+		speed = 1
+	}
+	route, err := net.Route(b.cur, dest)
+	if err != nil {
+		return err
+	}
+	// Connect the off-grid endpoints to the routed spine.
+	full := make([]geo.Point, 0, len(route)+2)
+	full = append(full, b.cur)
+	full = append(full, route...)
+	full = append(full, dest)
+	pl, err := geo.NewPolyline(full)
+	if err != nil || pl.Length() == 0 {
+		b.cur = dest
+		return nil
+	}
+	total := pl.Length()
+	for travelled := 0.0; travelled < total; {
+		step := speed * (0.9 + b.rng.Float64()*0.2) * b.sampling.Seconds()
+		travelled += step
+		if travelled > total {
+			travelled = total
+		}
+		b.cur = pl.PointAt(travelled)
+		b.now = b.now.Add(b.sampling)
+		b.emit()
+	}
+	b.cur = dest
+	return nil
+}
+
+// route returns a curved path from a to b: the straight line plus one or
+// two laterally displaced waypoints, mimicking street routing without a
+// road network.
+func (b *builder) route(from, to geo.Point) []geo.Point {
+	d := geo.Distance(from, to)
+	if d < 50 {
+		return []geo.Point{from, to}
+	}
+	brg := geo.Bearing(from, to)
+	n := 1
+	if d > 2000 {
+		n = 2
+	}
+	route := make([]geo.Point, 0, n+2)
+	route = append(route, from)
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n+1)
+		base := geo.Interpolate(from, to, f)
+		// Lateral displacement up to 15% of the leg length.
+		lateral := (b.rng.Float64() - 0.5) * 0.3 * d
+		route = append(route, geo.Destination(base, brg+90, lateral))
+	}
+	return append(route, to)
+}
+
+// build finalizes the trace.
+func (b *builder) build() (*trace.Trace, error) {
+	if len(b.pts) == 0 {
+		return nil, fmt.Errorf("synth: user %s produced no observations", b.user)
+	}
+	return trace.New(b.user, b.pts)
+}

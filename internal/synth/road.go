@@ -1,0 +1,143 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/roadnet"
+	"mobipriv/internal/trace"
+)
+
+// RoadCommuterConfig parameterizes the road-routed commuter workload:
+// like CommuterConfig, but every trip follows shortest paths on a shared
+// street grid, so users meet *in motion* on common road segments — the
+// kinetic-crossing regime of mix-zones (see internal/roadnet).
+type RoadCommuterConfig struct {
+	Seed       int64
+	Users      int
+	Days       int
+	Center     geo.Point
+	GridRows   int // street grid dimensions
+	GridCols   int
+	BlockSize  float64 // meters per block
+	Sampling   time.Duration
+	GPSNoise   float64
+	DriveSpeed float64
+	Start      time.Time
+}
+
+// DefaultRoadCommuterConfig returns the road workload used by E15.
+func DefaultRoadCommuterConfig() RoadCommuterConfig {
+	return RoadCommuterConfig{
+		Seed:       1,
+		Users:      50,
+		Days:       1,
+		Center:     geo.Point{Lat: 45.7640, Lng: 4.8357},
+		GridRows:   9,
+		GridCols:   9,
+		BlockSize:  700,
+		Sampling:   60 * time.Second,
+		GPSNoise:   5,
+		DriveSpeed: 10,
+		Start:      time.Date(2015, 6, 29, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func (c RoadCommuterConfig) validate() error {
+	switch {
+	case c.Users <= 0:
+		return errors.New("synth: Users must be positive")
+	case c.Days <= 0:
+		return errors.New("synth: Days must be positive")
+	case c.GridRows < 2 || c.GridCols < 2:
+		return errors.New("synth: grid must be at least 2x2")
+	case c.BlockSize <= 0:
+		return errors.New("synth: BlockSize must be positive")
+	case c.Sampling <= 0:
+		return errors.New("synth: Sampling must be positive")
+	case c.GPSNoise < 0:
+		return errors.New("synth: GPSNoise must be non-negative")
+	case c.DriveSpeed <= 0:
+		return errors.New("synth: DriveSpeed must be positive")
+	}
+	return c.Center.Validate()
+}
+
+// RoadCommuters generates the road-routed commuter workload. Homes,
+// workplaces and leisure venues snap to street intersections; all trips
+// follow shortest paths on the shared grid.
+func RoadCommuters(cfg RoadCommuterConfig) (*Generated, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("road commuters: %w", err)
+	}
+	net, err := roadnet.NewGrid(cfg.Center, cfg.GridRows, cfg.GridCols, cfg.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("road commuters: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	randomNode := func() geo.Point { return net.Node(rng.Intn(net.NumNodes())) }
+	nWork := maxInt(2, cfg.Users/5)
+	nLeisure := maxInt(2, cfg.Users/8)
+	workSites := make([]geo.Point, nWork)
+	for i := range workSites {
+		workSites[i] = randomNode()
+	}
+	leisure := make([]geo.Point, nLeisure)
+	for i := range leisure {
+		leisure[i] = randomNode()
+	}
+	venues := append(append([]geo.Point(nil), workSites...), leisure...)
+
+	var traces []*trace.Trace
+	var stays []Stay
+	for u := 0; u < cfg.Users; u++ {
+		user := fmt.Sprintf("ruser%03d", u)
+		home := randomNode()
+		work := workSites[rng.Intn(len(workSites))]
+		fav := leisure[rng.Intn(len(leisure))]
+
+		b := newBuilder(rng, cfg.Sampling, cfg.GPSNoise, user)
+		b.now = cfg.Start
+		b.cur = home
+		for day := 0; day < cfg.Days; day++ {
+			dayStart := cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+			leaveHome := dayStart.Add(7*time.Hour + 30*time.Minute +
+				time.Duration(rng.NormFloat64()*float64(30*time.Minute)))
+			b.stayUntil(home, leaveHome)
+			if err := b.travelVia(net, work, jitterSpeed(rng, cfg.DriveSpeed)); err != nil {
+				return nil, fmt.Errorf("road commuters: %s: %w", user, err)
+			}
+			leaveWork := dayStart.Add(17*time.Hour + 30*time.Minute +
+				time.Duration(rng.NormFloat64()*float64(45*time.Minute)))
+			if leaveWork.Before(b.now.Add(time.Hour)) {
+				leaveWork = b.now.Add(8 * time.Hour)
+			}
+			b.stayUntil(work, leaveWork)
+			if rng.Float64() < 0.5 {
+				if err := b.travelVia(net, fav, jitterSpeed(rng, cfg.DriveSpeed)); err != nil {
+					return nil, fmt.Errorf("road commuters: %s: %w", user, err)
+				}
+				b.stayUntil(fav, b.now.Add(time.Hour+time.Duration(rng.Int63n(int64(90*time.Minute)))))
+			}
+			if err := b.travelVia(net, home, jitterSpeed(rng, cfg.DriveSpeed)); err != nil {
+				return nil, fmt.Errorf("road commuters: %s: %w", user, err)
+			}
+			b.stayUntil(home, dayStart.Add(24*time.Hour))
+		}
+		tr, err := b.build()
+		if err != nil {
+			return nil, fmt.Errorf("road commuters: %s: %w", user, err)
+		}
+		traces = append(traces, tr)
+		stays = append(stays, b.stays...)
+	}
+	ds, err := trace.NewDataset(traces)
+	if err != nil {
+		return nil, fmt.Errorf("road commuters: %w", err)
+	}
+	return &Generated{Dataset: ds, Stays: stays, Venues: venues}, nil
+}

@@ -1,0 +1,130 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+)
+
+func smallRoadCommuters(t *testing.T) *Generated {
+	t.Helper()
+	cfg := DefaultRoadCommuterConfig()
+	cfg.Users = 6
+	cfg.Sampling = 2 * time.Minute
+	cfg.GridRows = 5
+	cfg.GridCols = 5
+	g, err := RoadCommuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRoadCommutersBasics(t *testing.T) {
+	g := smallRoadCommuters(t)
+	if g.Dataset.Len() != 6 {
+		t.Fatalf("users = %d", g.Dataset.Len())
+	}
+	if err := g.Dataset.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Stays) == 0 || len(g.Venues) == 0 {
+		t.Fatal("stays and venues required")
+	}
+}
+
+func TestRoadCommutersFollowRoads(t *testing.T) {
+	// Between stops, observations lie near the street grid: snap each
+	// moving observation to the nearest grid axis and verify the offset
+	// is bounded by GPS noise + sampling interpolation.
+	cfg := DefaultRoadCommuterConfig()
+	cfg.Users = 3
+	cfg.Sampling = time.Minute
+	cfg.GridRows = 5
+	cfg.GridCols = 5
+	g, err := RoadCommuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := geo.NewProjector(cfg.Center)
+	block := cfg.BlockSize
+	half := float64(cfg.GridRows-1) / 2 * block
+	onGrid := func(p geo.Point) bool {
+		v := pr.ToXY(p)
+		// Within the grid extent (with slack) and near a row, column or
+		// diagonal line.
+		if v.X < -half-200 || v.X > half+200 || v.Y < -half-200 || v.Y > half+200 {
+			return false
+		}
+		nearAxis := func(c float64) bool {
+			m := mod(c+half, block)
+			return m < 100 || m > block-100
+		}
+		if nearAxis(v.X) || nearAxis(v.Y) {
+			return true
+		}
+		// Diagonals: |x|==|y| lines through the center.
+		dx, dy := abs(v.X), abs(v.Y)
+		return abs(dx-dy) < 150
+	}
+	var moving, off int
+	for _, tr := range g.Dataset.Traces() {
+		speeds := tr.Speeds()
+		for i, s := range speeds {
+			if s < 2 { // stationary or slow: stays, not road segments
+				continue
+			}
+			moving++
+			if !onGrid(tr.Points[i+1].Point) {
+				off++
+			}
+		}
+	}
+	if moving == 0 {
+		t.Fatal("no moving observations found")
+	}
+	if frac := float64(off) / float64(moving); frac > 0.2 {
+		t.Fatalf("%.0f%% of moving observations are off the road grid", frac*100)
+	}
+}
+
+func TestRoadCommutersDeterministic(t *testing.T) {
+	g1 := smallRoadCommuters(t)
+	g2 := smallRoadCommuters(t)
+	if g1.Dataset.TotalPoints() != g2.Dataset.TotalPoints() {
+		t.Fatal("same seed must give identical output")
+	}
+}
+
+func TestRoadCommutersValidation(t *testing.T) {
+	bad := []func(*RoadCommuterConfig){
+		func(c *RoadCommuterConfig) { c.Users = 0 },
+		func(c *RoadCommuterConfig) { c.GridRows = 1 },
+		func(c *RoadCommuterConfig) { c.BlockSize = 0 },
+		func(c *RoadCommuterConfig) { c.Sampling = 0 },
+		func(c *RoadCommuterConfig) { c.DriveSpeed = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultRoadCommuterConfig()
+		mutate(&cfg)
+		if _, err := RoadCommuters(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func mod(a, b float64) float64 {
+	m := a - float64(int(a/b))*b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,78 @@
+package traceio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"mobipriv/internal/trace"
+)
+
+// ReadPLT parses one trajectory in the Geolife .plt format — the format
+// of the real dataset the paper's evaluation plan names. The file starts
+// with six header lines, followed by one observation per line:
+//
+//	lat,lng,0,altitude,days-since-1899,date,time
+//
+// e.g. "39.906631,116.385564,0,492,39745.1,2008-10-24,02:09:59".
+// The user identifier is supplied by the caller (Geolife encodes it in
+// the directory name).
+func ReadPLT(r io.Reader, user string) (*trace.Trace, error) {
+	sc := bufio.NewScanner(r)
+	var pts []trace.Point
+	line := 0
+	for sc.Scan() {
+		line++
+		if line <= 6 { // fixed-size preamble
+			continue
+		}
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("%w: plt line %d: want 7 fields, got %d", ErrBadRecord, line, len(fields))
+		}
+		lat, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: plt line %d: lat: %v", ErrBadRecord, line, err)
+		}
+		lng, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: plt line %d: lng: %v", ErrBadRecord, line, err)
+		}
+		ts, err := time.Parse("2006-01-02 15:04:05", fields[5]+" "+fields[6])
+		if err != nil {
+			return nil, fmt.Errorf("%w: plt line %d: time: %v", ErrBadRecord, line, err)
+		}
+		pts = append(pts, trace.P(lat, lng, ts.UTC()))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read plt: %w", err)
+	}
+	// Geolife occasionally repeats timestamps; keep the first of each run
+	// so the trace invariant (strictly increasing) holds.
+	pts = dedupeTimes(pts)
+	tr, err := trace.New(user, pts)
+	if err != nil {
+		return nil, fmt.Errorf("plt: %w", err)
+	}
+	return tr, nil
+}
+
+func dedupeTimes(pts []trace.Point) []trace.Point {
+	if len(pts) == 0 {
+		return pts
+	}
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		if p.Time.After(out[len(out)-1].Time) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

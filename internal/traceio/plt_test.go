@@ -1,0 +1,83 @@
+package traceio
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const pltHeader = `Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+`
+
+func TestReadPLT(t *testing.T) {
+	in := pltHeader +
+		"39.906631,116.385564,0,492,39745.0902662037,2008-10-24,02:09:59\n" +
+		"39.906554,116.385625,0,492,39745.0903240741,2008-10-24,02:10:04\n" +
+		"39.906478,116.385683,0,492,39745.0903819444,2008-10-24,02:10:09\n"
+	tr, err := ReadPLT(strings.NewReader(in), "geolife000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.User != "geolife000" || tr.Len() != 3 {
+		t.Fatalf("trace = %v", tr)
+	}
+	want := time.Date(2008, 10, 24, 2, 9, 59, 0, time.UTC)
+	if !tr.Start().Time.Equal(want) {
+		t.Fatalf("start = %v, want %v", tr.Start().Time, want)
+	}
+	if tr.Start().Lat != 39.906631 {
+		t.Fatalf("lat = %v", tr.Start().Lat)
+	}
+}
+
+func TestReadPLTDuplicateTimestamps(t *testing.T) {
+	in := pltHeader +
+		"39.906631,116.385564,0,492,39745.1,2008-10-24,02:09:59\n" +
+		"39.906554,116.385625,0,492,39745.1,2008-10-24,02:09:59\n" + // duplicate
+		"39.906478,116.385683,0,492,39745.2,2008-10-24,02:10:09\n"
+	tr, err := ReadPLT(strings.NewReader(in), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("deduped trace has %d points, want 2", tr.Len())
+	}
+}
+
+func TestReadPLTBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad fields": pltHeader + "39.9,116.3,0,492\n",
+		"bad lat":    pltHeader + "xx,116.3,0,492,39745.1,2008-10-24,02:09:59\n",
+		"bad lng":    pltHeader + "39.9,xx,0,492,39745.1,2008-10-24,02:09:59\n",
+		"bad time":   pltHeader + "39.9,116.3,0,492,39745.1,notadate,02:09:59\n",
+		"empty body": pltHeader,
+		"out of range": pltHeader +
+			"99.9,116.3,0,492,39745.1,2008-10-24,02:09:59\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadPLT(strings.NewReader(in), "u"); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestReadPLTSkipsBlankLines(t *testing.T) {
+	in := pltHeader +
+		"39.906631,116.385564,0,492,39745.1,2008-10-24,02:09:59\n" +
+		"\n" +
+		"39.906478,116.385683,0,492,39745.2,2008-10-24,02:10:09\n"
+	tr, err := ReadPLT(strings.NewReader(in), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("points = %d, want 2", tr.Len())
+	}
+}

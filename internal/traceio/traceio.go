@@ -1,0 +1,227 @@
+// Package traceio reads and writes mobility datasets in the formats used
+// by the tools and examples:
+//
+//   - CSV: one observation per row — user,timestamp,lat,lng — with an
+//     optional header. Timestamps are RFC 3339 or Unix seconds.
+//   - JSONL: one JSON object per line {"user":..,"t":..,"lat":..,"lng":..}.
+//   - GeoJSON: write-only export of traces as a FeatureCollection of
+//     LineStrings for visual inspection in any GIS viewer.
+//
+// All readers validate the resulting dataset (sorted times, coordinate
+// ranges, unique users) before returning it.
+package traceio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"mobipriv/internal/trace"
+)
+
+// ErrBadRecord reports a malformed input row; it is wrapped with line
+// context.
+var ErrBadRecord = errors.New("traceio: bad record")
+
+// csvHeader is the canonical header written by WriteCSV.
+var csvHeader = []string{"user", "time", "lat", "lng"}
+
+// WriteCSV writes the dataset as CSV with a header, one observation per
+// row in user order, RFC 3339 timestamps.
+func WriteCSV(w io.Writer, d *trace.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for _, tr := range d.Traces() {
+		for _, p := range tr.Points {
+			rec := []string{
+				tr.User,
+				p.Time.UTC().Format(time.RFC3339Nano),
+				strconv.FormatFloat(p.Lat, 'f', -1, 64),
+				strconv.FormatFloat(p.Lng, 'f', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("write record: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset from CSV. A header row (exactly the canonical
+// column names) is skipped if present. Rows may appear in any order;
+// observations are grouped by user and time-sorted.
+func ReadCSV(r io.Reader) (*trace.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	byUser := make(map[string][]trace.Point)
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv: %w", err)
+		}
+		line++
+		if line == 1 && isHeader(rec) {
+			continue
+		}
+		user := rec[0]
+		ts, err := parseTime(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+		}
+		lat, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: lat: %v", ErrBadRecord, line, err)
+		}
+		lng, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: lng: %v", ErrBadRecord, line, err)
+		}
+		byUser[user] = append(byUser[user], trace.P(lat, lng, ts))
+	}
+	return buildDataset(byUser)
+}
+
+func isHeader(rec []string) bool {
+	if len(rec) != len(csvHeader) {
+		return false
+	}
+	for i, h := range csvHeader {
+		if rec[i] != h {
+			return false
+		}
+	}
+	return true
+}
+
+func parseTime(s string) (time.Time, error) {
+	if ts, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return ts, nil
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(secs, 0).UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("unparseable time %q", s)
+}
+
+func buildDataset(byUser map[string][]trace.Point) (*trace.Dataset, error) {
+	users := make([]string, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	traces := make([]*trace.Trace, 0, len(users))
+	for _, u := range users {
+		tr, err := trace.New(u, byUser[u])
+		if err != nil {
+			return nil, fmt.Errorf("user %q: %w", u, err)
+		}
+		traces = append(traces, tr)
+	}
+	return trace.NewDataset(traces)
+}
+
+// jsonlRecord is the wire format of one JSONL observation.
+type jsonlRecord struct {
+	User string    `json:"user"`
+	Time time.Time `json:"t"`
+	Lat  float64   `json:"lat"`
+	Lng  float64   `json:"lng"`
+}
+
+// WriteJSONL writes one JSON object per observation.
+func WriteJSONL(w io.Writer, d *trace.Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, tr := range d.Traces() {
+		for _, p := range tr.Points {
+			rec := jsonlRecord{User: tr.User, Time: p.Time.UTC(), Lat: p.Lat, Lng: p.Lng}
+			if err := enc.Encode(rec); err != nil {
+				return fmt.Errorf("encode jsonl: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a dataset from JSONL input.
+func ReadJSONL(r io.Reader) (*trace.Dataset, error) {
+	dec := json.NewDecoder(r)
+	byUser := make(map[string][]trace.Point)
+	line := 0
+	for {
+		var rec jsonlRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line+1, err)
+		}
+		line++
+		byUser[rec.User] = append(byUser[rec.User], trace.P(rec.Lat, rec.Lng, rec.Time))
+	}
+	return buildDataset(byUser)
+}
+
+// geojson types cover the tiny subset needed for LineString export.
+type geojsonFeatureCollection struct {
+	Type     string           `json:"type"`
+	Features []geojsonFeature `json:"features"`
+}
+
+type geojsonFeature struct {
+	Type       string          `json:"type"`
+	Properties map[string]any  `json:"properties"`
+	Geometry   geojsonGeometry `json:"geometry"`
+}
+
+type geojsonGeometry struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"` // [lng, lat] per GeoJSON spec
+}
+
+// WriteGeoJSON exports every trace as a LineString feature tagged with
+// the user identifier, point count and duration in seconds. Single-point
+// traces are emitted as degenerate two-vertex lines so that viewers
+// render them.
+func WriteGeoJSON(w io.Writer, d *trace.Dataset) error {
+	fc := geojsonFeatureCollection{Type: "FeatureCollection"}
+	for _, tr := range d.Traces() {
+		coords := make([][2]float64, 0, tr.Len())
+		for _, p := range tr.Points {
+			coords = append(coords, [2]float64{p.Lng, p.Lat})
+		}
+		if len(coords) == 1 {
+			coords = append(coords, coords[0])
+		}
+		fc.Features = append(fc.Features, geojsonFeature{
+			Type: "Feature",
+			Properties: map[string]any{
+				"user":       tr.User,
+				"points":     tr.Len(),
+				"durationS":  tr.Duration().Seconds(),
+				"lengthM":    tr.Length(),
+				"avgSpeedMS": tr.AverageSpeed(),
+			},
+			Geometry: geojsonGeometry{Type: "LineString", Coordinates: coords},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("encode geojson: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package traceio
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/trace"
+)
+
+var t0 = time.Date(2015, 6, 30, 8, 0, 0, 0, time.UTC)
+
+func sample(t *testing.T) *trace.Dataset {
+	t.Helper()
+	mk := func(user string, n int) *trace.Trace {
+		pts := make([]trace.Point, n)
+		for i := range pts {
+			pts[i] = trace.P(45.76+float64(i)*0.001, 4.83, t0.Add(time.Duration(i)*time.Minute))
+		}
+		return trace.MustNew(user, pts)
+	}
+	return trace.MustNewDataset([]*trace.Trace{mk("alice", 4), mk("bob", 3)})
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestCSVNoHeader(t *testing.T) {
+	in := "alice,2015-06-30T08:00:00Z,45.76,4.83\nalice,2015-06-30T08:01:00Z,45.761,4.83\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.ByUser("alice").Len() != 2 {
+		t.Fatalf("parsed %v", d)
+	}
+}
+
+func TestCSVUnixSeconds(t *testing.T) {
+	in := "alice,1435651200,45.76,4.83\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Unix(1435651200, 0).UTC()
+	if got := d.ByUser("alice").Start().Time; !got.Equal(want) {
+		t.Fatalf("time = %v, want %v", got, want)
+	}
+}
+
+func TestCSVUnsortedInputIsSorted(t *testing.T) {
+	in := "u,2015-06-30T08:05:00Z,45.765,4.83\nu,2015-06-30T08:00:00Z,45.76,4.83\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := d.ByUser("u")
+	if !tr.Points[0].Time.Before(tr.Points[1].Time) {
+		t.Fatal("reader must sort observations")
+	}
+}
+
+func TestCSVBadRows(t *testing.T) {
+	cases := map[string]string{
+		"bad time":     "u,notatime,45,4\n",
+		"bad lat":      "u,2015-06-30T08:00:00Z,x,4\n",
+		"bad lng":      "u,2015-06-30T08:00:00Z,45,x\n",
+		"out of range": "u,2015-06-30T08:00:00Z,95,4\n",
+		"wrong fields": "u,2015-06-30T08:00:00Z,45\n",
+		"dup time":     "u,2015-06-30T08:00:00Z,45,4\nu,2015-06-30T08:00:00Z,45.1,4\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+				t.Fatalf("expected error for %q", in)
+			}
+		})
+	}
+}
+
+func TestCSVBadRecordWrapped(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("u,notatime,45,4\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("error = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := sample(t)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{nope")); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"user":"","t":"2015-06-30T08:00:00Z","lat":1,"lng":2}`)); err == nil {
+		t.Fatal("empty user should fail dataset validation")
+	}
+}
+
+func TestGeoJSON(t *testing.T) {
+	d := sample(t)
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var fc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &fc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if fc["type"] != "FeatureCollection" {
+		t.Fatalf("type = %v", fc["type"])
+	}
+	features := fc["features"].([]any)
+	if len(features) != 2 {
+		t.Fatalf("features = %d, want 2", len(features))
+	}
+	// GeoJSON uses [lng, lat] ordering.
+	geom := features[0].(map[string]any)["geometry"].(map[string]any)
+	coords := geom["coordinates"].([]any)
+	first := coords[0].([]any)
+	if first[0].(float64) != 4.83 {
+		t.Fatalf("first coordinate should be lng=4.83, got %v", first)
+	}
+}
+
+func TestGeoJSONSinglePoint(t *testing.T) {
+	d := trace.MustNewDataset([]*trace.Trace{
+		trace.MustNew("solo", []trace.Point{trace.P(45, 4, t0)}),
+	})
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LineString") {
+		t.Fatal("single-point trace should still emit a LineString")
+	}
+}
+
+func assertEqualDatasets(t *testing.T, want, got *trace.Dataset) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	for _, wt := range want.Traces() {
+		gt := got.ByUser(wt.User)
+		if gt == nil {
+			t.Fatalf("missing user %q", wt.User)
+		}
+		if gt.Len() != wt.Len() {
+			t.Fatalf("user %q: %d points, want %d", wt.User, gt.Len(), wt.Len())
+		}
+		for i := range wt.Points {
+			if !gt.Points[i].Time.Equal(wt.Points[i].Time) {
+				t.Fatalf("user %q point %d time %v, want %v", wt.User, i, gt.Points[i].Time, wt.Points[i].Time)
+			}
+			if d := geo.Distance(gt.Points[i].Point, wt.Points[i].Point); d > 1e-6 {
+				t.Fatalf("user %q point %d moved %v m", wt.User, i, d)
+			}
+		}
+	}
+}
