@@ -1,0 +1,142 @@
+package mobipriv
+
+import (
+	"context"
+	"fmt"
+
+	"mobipriv/internal/baseline/geoind"
+	"mobipriv/internal/baseline/w4m"
+	"mobipriv/internal/core"
+)
+
+// The standard lineup compared throughout the evaluation, registered
+// here so every CLI, example, experiment, and benchmark resolves the
+// same mechanisms by spec. Positional parameters are consumed in the
+// order listed:
+//
+//	raw                                  — identity publication (strawman)
+//	promesse(epsilon, trim)              — speed smoothing only
+//	pipeline(epsilon, zone-radius, ...)  — the paper's full pipeline
+//	geoi(epsilon, seed)                  — planar Laplace (Andrés et al.)
+//	w4m(k, delta, grid, max-radius)      — (k,δ)-anonymity (Abul et al.)
+func init() {
+	Register("raw", func(p *Params) (Mechanism, error) {
+		return Raw(), nil
+	})
+	Register("promesse", func(p *Params) (Mechanism, error) {
+		eps := p.Float("epsilon", 100)
+		trim := p.Float("trim", -1)
+		return promesse(eps, trim), nil
+	})
+	Register("pipeline", func(p *Params) (Mechanism, error) {
+		o := DefaultOptions()
+		o.Epsilon = p.Float("epsilon", o.Epsilon)
+		o.ZoneRadius = p.Float("zone-radius", o.ZoneRadius)
+		o.ZoneWindow = p.Duration("zone-window", o.ZoneWindow)
+		o.ZoneCooldown = p.Duration("zone-cooldown", o.ZoneCooldown)
+		o.Trim = p.Float("trim", o.Trim)
+		o.Seed = p.Int64("seed", o.Seed)
+		o.DisableSwapping = p.Bool("no-swap", false)
+		o.DisableSuppression = p.Bool("no-suppress", false)
+		o.DisableSmoothing = p.Bool("no-smooth", false)
+		o.PseudonymPrefix = p.String("prefix", o.PseudonymPrefix)
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+		return Pipeline(o.stages()...), nil
+	})
+	Register("geoi", func(p *Params) (Mechanism, error) {
+		eps := p.Float("epsilon", 0.01)
+		seed := p.Int64("seed", 1)
+		return GeoI(eps, seed), nil
+	})
+	Register("w4m", func(p *Params) (Mechanism, error) {
+		cfg := w4m.DefaultConfig()
+		cfg.K = p.Int("k", cfg.K)
+		cfg.Delta = p.Float("delta", cfg.Delta)
+		cfg.Grid = p.Duration("grid", cfg.Grid)
+		cfg.MaxRadius = p.Float("max-radius", cfg.MaxRadius)
+		return w4mMechanism{cfg: cfg}, nil
+	})
+}
+
+// Raw returns the identity mechanism: the dataset is published as-is
+// (the strawman every evaluation compares against). The input dataset
+// is returned without copying.
+func Raw() Mechanism {
+	return NewMechanism("raw", func(ctx context.Context, d *Dataset) (*Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res := &Result{Dataset: d}
+		res.AddReport(StageReport{Stage: "raw"})
+		return res, nil
+	})
+}
+
+// Promesse returns the smoothing-only mechanism (the paper's PROMESSE
+// with default end-trimming): constant-speed re-publication at the
+// given inter-point spacing in meters. Traces too short to anonymize
+// are dropped and reported.
+func Promesse(epsilon float64) Mechanism { return promesse(epsilon, -1) }
+
+func promesse(epsilon, trim float64) Mechanism {
+	name := fmt.Sprintf("promesse(epsilon=%g)", epsilon)
+	return NewMechanism(name, func(ctx context.Context, d *Dataset) (*Result, error) {
+		out, rep, err := core.SmoothDatasetCtx(ctx, d, core.Config{Epsilon: epsilon, Trim: trim})
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Dataset: out}
+		res.AddReport(StageReport{Stage: "smooth", Dropped: rep.Dropped})
+		return res, nil
+	})
+}
+
+// GeoI returns the geo-indistinguishability baseline (planar Laplace
+// noise, Andrés et al. CCS'13) at the given privacy parameter in
+// 1/meters. Each trace is perturbed with an independent RNG derived
+// from (seed, user), so output is deterministic for a seed regardless
+// of the Runner's worker count.
+func GeoI(epsilon float64, seed int64) Mechanism {
+	name := fmt.Sprintf("geoi(epsilon=%g)", epsilon)
+	return NewMechanism(name, func(ctx context.Context, d *Dataset) (*Result, error) {
+		out, err := geoind.PerturbDatasetCtx(ctx, d, geoind.Config{Epsilon: epsilon, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Dataset: out}
+		res.AddReport(StageReport{Stage: "geoi"})
+		return res, nil
+	})
+}
+
+// W4M returns the Wait4Me (k,δ)-anonymity baseline (Abul, Bonchi &
+// Nanni 2010) with anonymity set size k and tube diameter delta in
+// meters.
+func W4M(k int, delta float64) Mechanism {
+	cfg := w4m.DefaultConfig()
+	cfg.K, cfg.Delta = k, delta
+	return w4mMechanism{cfg: cfg}
+}
+
+type w4mMechanism struct {
+	cfg w4m.Config
+}
+
+func (m w4mMechanism) Name() string {
+	return fmt.Sprintf("w4m(k=%d,delta=%g)", m.cfg.K, m.cfg.Delta)
+}
+
+func (m w4mMechanism) Apply(ctx context.Context, d *Dataset) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w4mRes, err := w4m.Anonymize(d, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Dataset: w4mRes.Dataset}
+	res.AddReport(StageReport{Stage: "w4m", Dropped: w4mRes.Suppressed})
+	return res, nil
+}

@@ -11,7 +11,10 @@
 package mobipriv_test
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -106,6 +109,80 @@ func BenchmarkSpeedSmoothing(b *testing.B) {
 		}
 	}
 	b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSmoothParallel sweeps the Runner's worker count over the
+// speed-smoothing mechanism, so the speedup of the parallel runtime is
+// visible in the bench trajectory. The output is byte-identical across
+// worker counts (asserted by TestParallelSmoothingDeterministic); only
+// the wall clock moves.
+func BenchmarkSmoothParallel(b *testing.B) {
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 48
+	cfg.Sampling = 30 * time.Second
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := g.Dataset
+	mech, err := mobipriv.FromSpec("promesse")
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := float64(d.TotalPoints())
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runner := mobipriv.NewRunner(mobipriv.WithWorkers(workers))
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(ctx, mech, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkGeoIParallel sweeps the worker count over the planar
+// Laplace baseline, the other embarrassingly parallel transform.
+func BenchmarkGeoIParallel(b *testing.B) {
+	d := benchDataset(b)
+	mech, err := mobipriv.FromSpec("geoi(0.01)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := float64(d.TotalPoints())
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runner := mobipriv.NewRunner(mobipriv.WithWorkers(workers))
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(ctx, mech, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// workerSweep returns the deduplicated worker counts 1, 4, NumCPU.
+func workerSweep() []int {
+	counts := []int{1, 4, runtime.NumCPU()}
+	var out []int
+	seen := make(map[int]bool)
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // BenchmarkMixZones measures step 2 alone (detection + swap).

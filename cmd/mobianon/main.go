@@ -1,26 +1,30 @@
-// Command mobianon anonymizes a mobility dataset with the paper's
-// pipeline or one of the baselines.
+// Command mobianon anonymizes a mobility dataset with any mechanism
+// from the mobipriv registry: the paper's pipeline, the smoothing-only
+// PROMESSE variant, or one of the baselines.
 //
-// Usage:
+// The -mechanism flag takes a registry spec; parameters may be given in
+// the spec itself or through the legacy flags (spec parameters win):
 //
-//	mobianon -in raw.csv -out anon.csv                       # full pipeline
-//	mobianon -in raw.csv -mechanism promesse -epsilon 200    # smoothing only
-//	mobianon -in raw.csv -mechanism geoi -geoi-epsilon 0.01
-//	mobianon -in raw.csv -mechanism w4m -k 4 -delta 200
+//	mobianon -in raw.csv -out anon.csv                        # full pipeline
+//	mobianon -in raw.csv -mechanism "promesse(epsilon=200)"   # smoothing only
+//	mobianon -in raw.csv -mechanism promesse -epsilon 200     # same, via flags
+//	mobianon -in raw.csv -mechanism "geoi(0.01)"
+//	mobianon -in raw.csv -mechanism "w4m(k=4,delta=200)"
+//	mobianon -in raw.csv -workers 8                           # parallel per-trace work
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"mobipriv"
-	"mobipriv/internal/baseline/geoind"
-	"mobipriv/internal/baseline/w4m"
 	"mobipriv/internal/trace"
 	"mobipriv/internal/traceio"
 )
@@ -37,7 +41,8 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		in        = fs.String("in", "", "input dataset (.csv or .jsonl); required")
 		out       = fs.String("out", "", "output file (default stdout, csv)")
-		mech      = fs.String("mechanism", "pipeline", "pipeline, promesse, geoi, w4m")
+		mech      = fs.String("mechanism", "pipeline", "mechanism spec, e.g. pipeline, promesse(epsilon=200), geoi(0.01), w4m(k=4,delta=200), raw")
+		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for per-trace work")
 		epsilon   = fs.Float64("epsilon", 100, "smoothing spacing in meters (pipeline, promesse)")
 		radius    = fs.Float64("zone-radius", 100, "mix-zone radius in meters (pipeline)")
 		window    = fs.Duration("zone-window", time.Minute, "mix-zone co-location window (pipeline)")
@@ -60,50 +65,41 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var published *trace.Dataset
-	switch *mech {
-	case "pipeline":
-		opts := mobipriv.DefaultOptions()
-		opts.Epsilon = *epsilon
-		opts.ZoneRadius = *radius
-		opts.ZoneWindow = *window
-		opts.Seed = *seed
-		opts.DisableSwapping = *noSwap
-		opts.DisableSuppression = *noSupp
-		opts.PseudonymPrefix = *pseudonym
-		a, err := mobipriv.New(opts)
-		if err != nil {
-			return err
+	// A bare mechanism name takes its parameters from the legacy flags;
+	// a parenthesized spec is passed to the registry verbatim.
+	spec := strings.TrimSpace(*mech)
+	if !strings.Contains(spec, "(") {
+		switch spec {
+		case "pipeline":
+			// The prefix is spliced into a spec, so it must not contain
+			// spec metacharacters; reject early with a named error
+			// rather than letting the parser produce a confusing one.
+			if strings.ContainsAny(*pseudonym, "(),= ") {
+				return fmt.Errorf("-pseudonym-prefix %q must not contain '(', ')', ',', '=' or spaces", *pseudonym)
+			}
+			spec = fmt.Sprintf("pipeline(epsilon=%g,zone-radius=%g,zone-window=%s,seed=%d,no-swap=%t,no-suppress=%t,prefix=%s)",
+				*epsilon, *radius, *window, *seed, *noSwap, *noSupp, *pseudonym)
+		case "promesse":
+			spec = fmt.Sprintf("promesse(epsilon=%g)", *epsilon)
+		case "geoi":
+			spec = fmt.Sprintf("geoi(epsilon=%g,seed=%d)", *geoiEps, *seed)
+		case "w4m":
+			spec = fmt.Sprintf("w4m(k=%d,delta=%g)", *k, *delta)
 		}
-		res, err := a.Anonymize(d)
-		if err != nil {
-			return err
-		}
-		published = res.Dataset
-		fmt.Fprintf(os.Stderr, "pipeline: %d zones, %d swaps, %d points suppressed, %d users dropped\n",
-			res.Zones, res.Swaps, res.SuppressedPoints, len(res.DroppedUsers))
-	case "promesse":
-		outDS, dropped, err := mobipriv.SmoothOnly(d, *epsilon)
-		if err != nil {
-			return err
-		}
-		published = outDS
-		fmt.Fprintf(os.Stderr, "promesse: %d users dropped (too short)\n", len(dropped))
-	case "geoi":
-		published, err = geoind.PerturbDataset(d, geoind.Config{Epsilon: *geoiEps, Seed: *seed})
-		if err != nil {
-			return err
-		}
-	case "w4m":
-		res, err := w4m.Anonymize(d, w4m.Config{K: *k, Delta: *delta})
-		if err != nil {
-			return err
-		}
-		published = res.Dataset
-		fmt.Fprintf(os.Stderr, "w4m: %d clusters, %d users suppressed\n",
-			len(res.Clusters), len(res.Suppressed))
-	default:
-		return fmt.Errorf("unknown mechanism %q", *mech)
+	}
+	m, err := mobipriv.FromSpec(spec)
+	if err != nil {
+		return err
+	}
+
+	runner := mobipriv.NewRunner(mobipriv.WithWorkers(*workers))
+	res, err := runner.Run(context.Background(), m, d)
+	if err != nil {
+		return err
+	}
+	published := res.Dataset
+	for _, rep := range res.Reports {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", m.Name(), describeStage(rep))
 	}
 
 	w := stdout
@@ -122,6 +118,24 @@ func run(args []string, stdout io.Writer) error {
 		return traceio.WriteJSONL(w, published)
 	}
 	return traceio.WriteCSV(w, published)
+}
+
+// describeStage renders one stage report for the operator.
+func describeStage(rep mobipriv.StageReport) string {
+	var parts []string
+	if rep.Zones > 0 || rep.Stage == "mixzones" {
+		parts = append(parts, fmt.Sprintf("%d zones, %d swaps", rep.Zones, rep.Swaps))
+	}
+	if rep.Suppressed > 0 {
+		parts = append(parts, fmt.Sprintf("%d points suppressed", rep.Suppressed))
+	}
+	if len(rep.Dropped) > 0 {
+		parts = append(parts, fmt.Sprintf("%d users dropped", len(rep.Dropped)))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "ok")
+	}
+	return fmt.Sprintf("%s: %s", rep.Stage, strings.Join(parts, ", "))
 }
 
 func readDataset(path string) (*trace.Dataset, error) {

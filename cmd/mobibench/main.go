@@ -6,6 +6,11 @@
 //	mobibench                 # run everything at full scale
 //	mobibench -exp E2,E7      # selected experiments
 //	mobibench -scale quick    # the reduced workloads used by tests
+//
+// The comparative experiments resolve their mechanism lineup from the
+// mobipriv registry; override it with -mechanisms, e.g.
+//
+//	mobibench -exp E2 -mechanisms "raw,promesse(epsilon=200),geoi(0.05)"
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"mobipriv"
 	"mobipriv/internal/experiment"
 )
 
@@ -29,11 +35,24 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mobibench", flag.ContinueOnError)
 	var (
-		exps  = fs.String("exp", "all", "comma-separated experiment ids (e.g. E2,E7) or 'all'")
-		scale = fs.String("scale", "full", "workload scale: quick or full")
+		exps      = fs.String("exp", "all", "comma-separated experiment ids (e.g. E2,E7) or 'all'")
+		scale     = fs.String("scale", "full", "workload scale: quick or full")
+		lineup    = fs.String("mechanisms", "", "comma-separated mechanism specs overriding the standard lineup (default: "+strings.Join(experiment.Lineup(), ",")+")")
+		listMechs = fs.Bool("list-mechanisms", false, "print the registered mechanism names and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listMechs {
+		for _, name := range mobipriv.Mechanisms() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+	if *lineup != "" {
+		if err := experiment.SetLineup(mobipriv.SplitSpecs(*lineup)); err != nil {
+			return err
+		}
 	}
 	var sc experiment.Scale
 	switch *scale {

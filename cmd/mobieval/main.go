@@ -3,13 +3,18 @@
 // coverage, trip lengths, OD flows, popular cells, range queries) and,
 // when ground-truth stays are supplied, the POI-retrieval attack scores.
 //
+// The anonymized dataset is either read from a file (-anon) or produced
+// on the fly by a mechanism from the mobipriv registry (-mechanism).
+//
 // Usage:
 //
 //	mobieval -orig raw.csv -anon anon.csv
 //	mobieval -orig raw.csv -anon anon.csv -stays stays.csv
+//	mobieval -orig raw.csv -mechanism "promesse(epsilon=200)"
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"flag"
@@ -17,9 +22,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"time"
 
+	"mobipriv"
 	"mobipriv/internal/attack/poiattack"
 	"mobipriv/internal/geo"
 	"mobipriv/internal/metrics"
@@ -40,7 +47,9 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mobieval", flag.ContinueOnError)
 	var (
 		origPath  = fs.String("orig", "", "original dataset (.csv/.jsonl); required")
-		anonPath  = fs.String("anon", "", "anonymized dataset (.csv/.jsonl); required")
+		anonPath  = fs.String("anon", "", "anonymized dataset (.csv/.jsonl)")
+		mechSpec  = fs.String("mechanism", "", "anonymize -orig on the fly with this registry spec instead of reading -anon")
+		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for on-the-fly anonymization")
 		staysPath = fs.String("stays", "", "ground-truth stays CSV from mobigen (enables the POI attack)")
 		cell      = fs.Float64("cell", 500, "grid cell size in meters for coverage/OD/popularity")
 		queries   = fs.Int("queries", 100, "number of random range queries")
@@ -48,16 +57,33 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *origPath == "" || *anonPath == "" {
-		return errors.New("-orig and -anon are required")
+	if *origPath == "" {
+		return errors.New("-orig is required")
+	}
+	if (*anonPath == "") == (*mechSpec == "") {
+		return errors.New("exactly one of -anon or -mechanism is required")
 	}
 	orig, err := readDataset(*origPath)
 	if err != nil {
 		return fmt.Errorf("original: %w", err)
 	}
-	anon, err := readDataset(*anonPath)
-	if err != nil {
-		return fmt.Errorf("anonymized: %w", err)
+	var anon *trace.Dataset
+	if *mechSpec != "" {
+		m, err := mobipriv.FromSpec(*mechSpec)
+		if err != nil {
+			return err
+		}
+		res, err := mobipriv.NewRunner(mobipriv.WithWorkers(*workers)).Run(context.Background(), m, orig)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		anon = res.Dataset
+		fmt.Fprintf(stdout, "anonymized on the fly with %s (%d users dropped)\n", m.Name(), len(res.DroppedUsers()))
+	} else {
+		anon, err = readDataset(*anonPath)
+		if err != nil {
+			return fmt.Errorf("anonymized: %w", err)
+		}
 	}
 
 	fmt.Fprintf(stdout, "original:   %s\n", orig)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,10 +17,8 @@ import (
 	"mobipriv"
 	"mobipriv/internal/attack/poiattack"
 	"mobipriv/internal/attack/reident"
-	"mobipriv/internal/baseline/geoind"
 	"mobipriv/internal/poi"
 	"mobipriv/internal/synth"
-	"mobipriv/internal/trace"
 )
 
 func main() {
@@ -38,49 +37,44 @@ func main() {
 	// locations (e.g. harvested from social media).
 	known := poiattack.TruePOIs(g.Stays, 250)
 
-	// Candidate publications.
-	publications := map[string]*trace.Dataset{
-		"raw-pseudonymized": g.Dataset,
+	// Candidate publications, resolved from the mechanism registry —
+	// the same lineup specs the experiments and CLIs use.
+	ctx := context.Background()
+	results := make(map[string]*mobipriv.Result)
+	for _, spec := range []string{"raw", "geoi(0.01)", "pipeline"} {
+		mech, err := mobipriv.FromSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mech.Apply(ctx, g.Dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[spec] = res
 	}
-	pipe, err := mobipriv.New(mobipriv.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := pipe.Anonymize(g.Dataset)
-	if err != nil {
-		log.Fatal(err)
-	}
-	publications["pipeline"] = res.Dataset
-	gi, err := geoind.PerturbDataset(g.Dataset, geoind.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	publications["geo-i(eps=0.01)"] = gi
 
 	fmt.Println("attack results (lower is better for the publisher):")
-	for _, name := range []string{"raw-pseudonymized", "geo-i(eps=0.01)", "pipeline"} {
-		ds := publications[name]
-		atk, err := poiattack.Evaluate(ds, g.Stays, poiattack.DefaultConfig())
+	for _, spec := range []string{"raw", "geoi(0.01)", "pipeline"} {
+		res := results[spec]
+		atk, err := poiattack.Evaluate(res.Dataset, g.Stays, poiattack.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
 		// For raw and geo-i the identity mapping is trivial; for the
-		// pipeline the majority owner is the right ground truth.
-		truth := func(u string) string { return u }
-		if name == "pipeline" {
-			truth = res.MajorityOwner
-		}
-		link, err := reident.LinkByPOI(ds, known, truth, poi.DefaultConfig(), 250)
+		// pipeline the majority owner is the right ground truth — both
+		// are exactly what Result.MajorityOwner reports.
+		link, err := reident.LinkByPOI(res.Dataset, known, res.MajorityOwner, poi.DefaultConfig(), 250)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-18s POI F1 %.3f | re-identified %d/%d users (%.0f%%)\n",
-			name, atk.Global.F1, link.Correct, link.Total, 100*link.Rate)
+			spec, atk.Global.F1, link.Correct, link.Total, 100*link.Rate)
 	}
 
 	// Where did the zones come from? Natural meetings at shared venues.
+	pipe := results["pipeline"]
 	fmt.Printf("\npipeline internals: %d natural mix-zones, %d swapped, %d points suppressed\n",
-		res.Zones, res.Swaps, res.SuppressedPoints)
+		pipe.Zones(), pipe.Swaps(), pipe.SuppressedPoints())
 	if len(g.Venues) > 0 {
 		fmt.Printf("the city has %d shared venues; e.g. %s is a natural meeting place\n",
 			len(g.Venues), g.Venues[0])

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -14,7 +15,7 @@ import (
 	"path/filepath"
 	"time"
 
-	"mobipriv/internal/core"
+	"mobipriv"
 	"mobipriv/internal/geo"
 	"mobipriv/internal/mixzone"
 	"mobipriv/internal/poi"
@@ -64,11 +65,18 @@ func main() {
 			z.Center, z.Time.Format("15:04:05"), z.Participants)
 	}
 
-	// Stage: enforce constant speed on the swapped composites.
-	smoothed, _, err := core.SmoothDataset(mz.Dataset, core.DefaultConfig())
+	// Stage: enforce constant speed on the swapped composites. The
+	// published stage is produced by the public pipeline API — the same
+	// two stages, composed, without pseudonymization so the figure's
+	// labels stay readable.
+	swap := mobipriv.DefaultMixZoneSwap()
+	swap.Seed = 2 // matches swapConfig: a permutation that swaps
+	res, err := mobipriv.Pipeline(swap, mobipriv.DefaultSpeedSmooth()).
+		Apply(context.Background(), original)
 	if err != nil {
 		log.Fatal(err)
 	}
+	smoothed := res.Dataset
 	report("(c) constant speed", smoothed)
 
 	// Write all three stages for visual comparison.

@@ -1,10 +1,12 @@
-// Quickstart: build a small dataset with the public API, anonymize it
-// with the paper's pipeline, and inspect what changed.
+// Quickstart: build a small dataset with the public API, compose the
+// paper's pipeline from its stages, anonymize, and inspect what
+// changed.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,23 +37,29 @@ func main() {
 	}
 	fmt.Printf("input: %v\n", dataset)
 
-	// Anonymize with the default operating point: 100 m spacing,
-	// 100 m mix-zones, pseudonyms. (Seed 2 draws a swapping permutation
-	// at the crossing, which makes the demo output more interesting.)
-	opts := mobipriv.DefaultOptions()
-	opts.Seed = 2
-	anon, err := mobipriv.New(opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := anon.Anonymize(dataset)
+	// Compose the paper's pipeline from its stages at the default
+	// operating point: 100 m mix-zones, 100 m spacing, pseudonyms.
+	// (Seed 2 draws a swapping permutation at the crossing, which makes
+	// the demo output more interesting.)
+	swap := mobipriv.DefaultMixZoneSwap()
+	swap.Seed = 2
+	mech := mobipriv.Pipeline(
+		swap,
+		mobipriv.DefaultSpeedSmooth(),
+		mobipriv.Pseudonymize{Prefix: "p", Seed: 2},
+	)
+	res, err := mech.Apply(context.Background(), dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("published: %v\n", res.Dataset)
-	fmt.Printf("mix-zones exploited: %d (of which %d swapped identities)\n", res.Zones, res.Swaps)
-	fmt.Printf("observations suppressed inside zones: %d\n", res.SuppressedPoints)
+	for _, rep := range res.Reports {
+		fmt.Printf("  stage %-13s zones=%d swaps=%d suppressed=%d dropped=%d\n",
+			rep.Stage, rep.Zones, rep.Swaps, rep.Suppressed, len(rep.Dropped))
+	}
+	fmt.Printf("mix-zones exploited: %d (of which %d swapped identities)\n", res.Zones(), res.Swaps())
+	fmt.Printf("observations suppressed inside zones: %d\n", res.SuppressedPoints())
 	for _, tr := range res.Dataset.Traces() {
 		fmt.Printf("  %s: %d points over %s, %.0f m, constant speed %.2f m/s\n",
 			tr.User, tr.Len(), tr.Duration().Round(time.Second), tr.Length(), tr.AverageSpeed())

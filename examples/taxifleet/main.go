@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	"mobipriv"
 	"mobipriv/internal/attack/poiattack"
@@ -31,16 +33,20 @@ func main() {
 	}
 	fmt.Printf("fleet: %v, %d ground-truth stand waits\n", g.Dataset, len(g.Stays))
 
-	anon, err := mobipriv.New(mobipriv.DefaultOptions())
+	// Resolve the paper's pipeline from the mechanism registry and fan
+	// the per-trace work across all CPUs; the published dataset is
+	// byte-identical to a serial run.
+	mech, err := mobipriv.FromSpec("pipeline")
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := anon.Anonymize(g.Dataset)
+	runner := mobipriv.NewRunner(mobipriv.WithWorkers(runtime.NumCPU()))
+	res, err := runner.Run(context.Background(), mech, g.Dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("published: %v (%d zones, %d swaps, %d points suppressed)\n\n",
-		res.Dataset, res.Zones, res.Swaps, res.SuppressedPoints)
+		res.Dataset, res.Zones(), res.Swaps(), res.SuppressedPoints())
 
 	// Privacy: can the adversary still find the stands?
 	before, err := poiattack.Evaluate(g.Dataset, g.Stays, poiattack.DefaultConfig())

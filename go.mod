@@ -1,0 +1,3 @@
+module mobipriv
+
+go 1.24

@@ -87,8 +87,8 @@ func TestAnonymizerConcurrentUse(t *testing.T) {
 	// Determinism under concurrency: all results identical.
 	for i := 1; i < workers; i++ {
 		if results[i].Dataset.TotalPoints() != results[0].Dataset.TotalPoints() ||
-			results[i].Zones != results[0].Zones ||
-			results[i].Swaps != results[0].Swaps {
+			results[i].Zones() != results[0].Zones() ||
+			results[i].Swaps() != results[0].Swaps() {
 			t.Fatalf("worker %d diverged from worker 0", i)
 		}
 	}

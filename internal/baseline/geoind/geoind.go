@@ -12,12 +12,16 @@
 package geoind
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
 	"mobipriv/internal/geo"
+	"mobipriv/internal/par"
+	"mobipriv/internal/rng"
 	"mobipriv/internal/trace"
 )
 
@@ -139,25 +143,50 @@ func (m *Mechanism) Perturb(tr *trace.Trace) (*trace.Trace, error) {
 	return out, nil
 }
 
-// PerturbDataset applies Perturb to every trace.
+// PerturbDataset applies Perturb to every trace. Each trace is
+// perturbed with an independent RNG derived from (cfg.Seed, user), so
+// the output for a given seed does not depend on trace order or on the
+// worker count of PerturbDatasetCtx.
 func PerturbDataset(d *trace.Dataset, cfg Config) (*trace.Dataset, error) {
-	m, err := New(cfg)
-	if err != nil {
+	return PerturbDatasetCtx(context.Background(), d, cfg)
+}
+
+// PerturbDatasetCtx is PerturbDataset honoring context cancellation and
+// fanning the per-trace perturbation across the context's worker budget
+// (par.Workers). Per-trace seed derivation keeps the output identical
+// to the serial run.
+func PerturbDatasetCtx(ctx context.Context, d *trace.Dataset, cfg Config) (*trace.Dataset, error) {
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	out := make([]*trace.Trace, 0, d.Len())
-	for _, tr := range d.Traces() {
-		p, err := m.Perturb(tr)
+	traces := d.Traces()
+	out := make([]*trace.Trace, len(traces))
+	err := par.Map(ctx, len(traces), func(i int) error {
+		m := &Mechanism{cfg: cfg, rng: rand.New(rand.NewSource(traceSeed(cfg.Seed, traces[i].User)))}
+		p, err := m.Perturb(traces[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, p)
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	ds, err := trace.NewDataset(out)
 	if err != nil {
 		return nil, fmt.Errorf("geoind: assemble dataset: %w", err)
 	}
 	return ds, nil
+}
+
+// traceSeed derives an independent RNG seed for one trace from the
+// dataset seed and the user label, splitmix64-style, so every trace
+// gets a decorrelated noise stream.
+func traceSeed(seed int64, user string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(user))
+	return int64(rng.Mix(uint64(seed)*rng.Gamma ^ h.Sum64()))
 }
 
 // ExpectedDisplacement returns the mean displacement 2/ε in meters for

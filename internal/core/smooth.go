@@ -21,11 +21,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"mobipriv/internal/geo"
+	"mobipriv/internal/par"
 	"mobipriv/internal/trace"
 )
 
@@ -163,16 +165,39 @@ type Report struct {
 // that are too short to anonymize are dropped — publishing them would
 // reveal endpoints — and reported. Any other failure aborts.
 func SmoothDataset(d *trace.Dataset, cfg Config) (*trace.Dataset, Report, error) {
+	return SmoothDatasetCtx(context.Background(), d, cfg)
+}
+
+// SmoothDatasetCtx is SmoothDataset honoring context cancellation and
+// fanning the per-trace work across the context's worker budget
+// (par.Workers). Smoothing one trace is independent of every other, and
+// results are collected by index, so the output is byte-identical to
+// the serial run regardless of worker count.
+func SmoothDatasetCtx(ctx context.Context, d *trace.Dataset, cfg Config) (*trace.Dataset, Report, error) {
 	var rep Report
-	out := make([]*trace.Trace, 0, d.Len())
-	for _, tr := range d.Traces() {
-		sm, err := Smooth(tr, cfg)
+	traces := d.Traces()
+	smoothed := make([]*trace.Trace, len(traces)) // nil marks a dropped trace
+	dropped := make([]bool, len(traces))
+	err := par.Map(ctx, len(traces), func(i int) error {
+		sm, err := Smooth(traces[i], cfg)
 		if err != nil {
 			if errors.Is(err, ErrTraceTooShort) || errors.Is(err, ErrZeroDuration) {
-				rep.Dropped = append(rep.Dropped, tr.User)
-				continue
+				dropped[i] = true
+				return nil
 			}
-			return nil, rep, err
+			return err
+		}
+		smoothed[i] = sm
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	out := make([]*trace.Trace, 0, len(traces))
+	for i, sm := range smoothed {
+		if dropped[i] {
+			rep.Dropped = append(rep.Dropped, traces[i].User)
+			continue
 		}
 		out = append(out, sm)
 	}

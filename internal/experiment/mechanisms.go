@@ -1,64 +1,76 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mobipriv"
-	"mobipriv/internal/baseline/geoind"
-	"mobipriv/internal/baseline/w4m"
-	"mobipriv/internal/core"
 	"mobipriv/internal/trace"
 )
 
-// mechanism is one anonymization under evaluation: a name and an
-// application function. Mechanisms that drop users return the published
-// dataset only; experiments needing ground truth call the underlying
-// packages directly.
+// defaultLineup is the lineup compared throughout the evaluation,
+// resolved from the mobipriv mechanism registry: raw publication (the
+// strawman), the paper's smoothing-only variant, its full pipeline, and
+// the two baselines from the related-work section. New scenarios are
+// one mobipriv.Register (or SetLineup) call away.
+var defaultLineup = []string{
+	"raw",
+	"promesse",
+	"pipeline",
+	"geoi(0.01)",
+	"w4m(k=4,delta=200)",
+}
+
+var lineup = defaultLineup
+
+// SetLineup replaces the mechanism lineup used by the comparative
+// experiments with the given registry specs (validated eagerly).
+// Passing nil restores the default lineup.
+func SetLineup(specs []string) error {
+	if specs == nil {
+		lineup = defaultLineup
+		return nil
+	}
+	for _, spec := range specs {
+		if _, err := mobipriv.FromSpec(spec); err != nil {
+			return fmt.Errorf("experiment: lineup: %w", err)
+		}
+	}
+	lineup = append([]string(nil), specs...)
+	return nil
+}
+
+// Lineup returns the specs of the current mechanism lineup.
+func Lineup() []string { return append([]string(nil), lineup...) }
+
+// mechanism is one anonymization under evaluation, resolved from the
+// registry. Mechanisms that drop users return the published dataset
+// only; experiments needing ground truth call the underlying packages
+// directly.
 type mechanism struct {
-	name  string
-	apply func(*trace.Dataset) (*trace.Dataset, error)
+	name string
+	mech mobipriv.Mechanism
 }
 
-// standardMechanisms returns the lineup compared throughout the
-// evaluation: raw publication (pseudonyms only, the strawman), the
-// paper's full pipeline, its smoothing-only variant, and the two
-// baselines from the related-work section.
+func (m mechanism) apply(d *trace.Dataset) (*trace.Dataset, error) {
+	res, err := m.mech.Apply(context.Background(), d)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", m.name, err)
+	}
+	return res.Dataset, nil
+}
+
+// standardMechanisms resolves the current lineup from the registry.
+// The default lineup is known-good, and SetLineup validates eagerly, so
+// a resolution failure here is a programmer error.
 func standardMechanisms() []mechanism {
-	return []mechanism{
-		{name: "raw", apply: func(d *trace.Dataset) (*trace.Dataset, error) { return d, nil }},
-		{name: "promesse", apply: applySmoothOnly},
-		{name: "pipeline", apply: applyPipeline},
-		{name: "geo-i(0.01)", apply: func(d *trace.Dataset) (*trace.Dataset, error) {
-			return geoind.PerturbDataset(d, geoind.Config{Epsilon: 0.01, Seed: 1})
-		}},
-		{name: "w4m(4,200)", apply: applyW4MDefault},
+	out := make([]mechanism, 0, len(lineup))
+	for _, spec := range lineup {
+		m, err := mobipriv.FromSpec(spec)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: lineup spec %q: %v", spec, err))
+		}
+		out = append(out, mechanism{name: m.Name(), mech: m})
 	}
-}
-
-func applySmoothOnly(d *trace.Dataset) (*trace.Dataset, error) {
-	out, _, err := core.SmoothDataset(d, core.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("experiment: promesse: %w", err)
-	}
-	return out, nil
-}
-
-func applyPipeline(d *trace.Dataset) (*trace.Dataset, error) {
-	a, err := mobipriv.New(mobipriv.DefaultOptions())
-	if err != nil {
-		return nil, err
-	}
-	res, err := a.Anonymize(d)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: pipeline: %w", err)
-	}
-	return res.Dataset, nil
-}
-
-func applyW4MDefault(d *trace.Dataset) (*trace.Dataset, error) {
-	res, err := w4m.Anonymize(d, w4m.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("experiment: w4m: %w", err)
-	}
-	return res.Dataset, nil
+	return out
 }

@@ -1,0 +1,14 @@
+// Package rng holds the tiny deterministic mixing primitives shared by
+// the seeded shuffles and per-trace seed derivations, so every consumer
+// uses the exact same splitmix64 finalizer.
+package rng
+
+// Gamma is the splitmix64 increment (golden-ratio constant).
+const Gamma = 0x9e3779b97f4a7c15
+
+// Mix is the splitmix64 finalizer: a bijective avalanche mix of z.
+func Mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -2,30 +2,47 @@
 // library reproducing Primault, Ben Mokhtar & Brunie, "Privacy-preserving
 // Publication of Mobility Data with High Utility" (ICDCS 2015).
 //
-// The pipeline has two steps, applied by Anonymizer.Anonymize:
+// The API has three pillars:
 //
-//   - Trajectory swapping in natural mix-zones: wherever users actually
-//     meet (on the original timing), the few observations inside the
-//     meeting area are suppressed and the user identifiers of the
-//     crossing traces are shuffled, breaking trace linkability.
-//   - Speed smoothing (time distortion): every composite trace is then
-//     re-published with uniform spacing between points and uniform
-//     timestamps, so the user appears to move at constant speed and her
-//     stops (points of interest) are no longer visible. Space is almost
-//     untouched; time carries the distortion, and the swap seams vanish
-//     into the constant-speed geometry.
-//
-// Finally, identifiers are replaced with opaque pseudonyms. (The paper's
-// Figure 1 presents smoothing first; see DESIGN.md §5.1 for why the
-// operational order detects meetings before distorting time.)
+//   - Mechanism: every anonymization — the paper's pipeline, the
+//     smoothing-only PROMESSE variant, and the geo-indistinguishability
+//     and Wait4Me baselines — implements one interface
+//     (Name/Apply), so CLIs, examples, experiments and benchmarks all
+//     consume the same lineup.
+//   - Composable stages: the paper's pipeline is Pipeline(stages...)
+//     over Stage values — MixZoneSwap (trajectory swapping in natural
+//     mix-zones, on the original timing), SpeedSmooth (constant-speed
+//     re-publication that hides stops), and Pseudonymize. Result
+//     accumulates one StageReport per stage plus the evaluation ground
+//     truth (OriginalAt, MajorityOwner).
+//   - Registry + parallel runtime: mechanisms register under a name
+//     (Register) and resolve from a textual spec (FromSpec), e.g.
+//     "promesse(epsilon=200)", "geoi(0.01)", "w4m(k=4,delta=200)";
+//     a Runner with WithWorkers(n) fans independent per-trace work
+//     across a pool with context cancellation, with output identical
+//     to the serial run.
 //
 // Quickstart:
 //
-//	anon, err := mobipriv.New(mobipriv.DefaultOptions())
+//	mech, err := mobipriv.FromSpec("pipeline")
 //	...
-//	res, err := anon.Anonymize(dataset)
+//	runner := mobipriv.NewRunner(mobipriv.WithWorkers(runtime.NumCPU()))
+//	res, err := runner.Run(ctx, mech, dataset)
 //	...
 //	publish(res.Dataset)
+//
+// Or compose stages explicitly:
+//
+//	mech := mobipriv.Pipeline(
+//		mobipriv.DefaultMixZoneSwap(),
+//		mobipriv.SpeedSmooth{Epsilon: 200, Trim: -1},
+//		mobipriv.DefaultPseudonymize(),
+//	)
+//
+// The legacy constructor mobipriv.New(Options) remains as a thin shim
+// over the same pipeline. (The paper's Figure 1 presents smoothing
+// first; see DESIGN.md §5.1 for why the operational order detects
+// meetings before distorting time.)
 //
 // The sub-packages under internal/ contain the substrates (trajectory
 // model, geodesy, synthetic workloads, attacks, baselines, metrics) used
@@ -33,13 +50,9 @@
 package mobipriv
 
 import (
-	"errors"
-	"fmt"
-	"sort"
-	"time"
+	"context"
 
 	"mobipriv/internal/core"
-	"mobipriv/internal/mixzone"
 	"mobipriv/internal/trace"
 )
 
@@ -59,73 +72,13 @@ func NewDataset(traces []*Trace) (*Dataset, error) { return trace.NewDataset(tra
 // NewTrace builds a validated, time-sorted trace.
 func NewTrace(user string, pts []Point) (*Trace, error) { return trace.New(user, pts) }
 
-// Options configures the anonymization pipeline.
-type Options struct {
-	// Epsilon is the published inter-point spacing in meters (speed
-	// smoothing). Default 100.
-	Epsilon float64
-	// Trim is the path distance removed from both trace ends, hiding the
-	// first and last stops. Negative means "equal to Epsilon" (default).
-	Trim float64
-	// ZoneRadius is the mix-zone radius in meters. Default 100.
-	ZoneRadius float64
-	// ZoneWindow is the co-location window for meeting detection.
-	// Default 1 minute.
-	ZoneWindow time.Duration
-	// ZoneCooldown limits repeated zones for the same user pair.
-	// Default 15 minutes.
-	ZoneCooldown time.Duration
-	// Seed drives the swap permutations and pseudonym assignment.
-	Seed int64
-	// DisableSwapping keeps zone suppression but never swaps identities
-	// (ablation).
-	DisableSwapping bool
-	// DisableSuppression keeps swapping but publishes in-zone points
-	// (ablation).
-	DisableSuppression bool
-	// DisableSmoothing skips step 1 entirely (ablation).
-	DisableSmoothing bool
-	// PseudonymPrefix names output identities Prefix000, Prefix001, ...
-	// Empty disables pseudonymization (identities remain the — possibly
-	// swapped — original labels; useful for debugging).
-	PseudonymPrefix string
-}
-
-// DefaultOptions returns the operating point used across the
-// experiments.
-func DefaultOptions() Options {
-	return Options{
-		Epsilon:         100,
-		Trim:            -1,
-		ZoneRadius:      100,
-		ZoneWindow:      time.Minute,
-		ZoneCooldown:    15 * time.Minute,
-		Seed:            1,
-		PseudonymPrefix: "p",
-	}
-}
-
-func (o Options) validate() error {
-	if o.Epsilon <= 0 && !o.DisableSmoothing {
-		return errors.New("mobipriv: Epsilon must be positive")
-	}
-	if o.ZoneRadius <= 0 {
-		return errors.New("mobipriv: ZoneRadius must be positive")
-	}
-	if o.ZoneWindow <= 0 {
-		return errors.New("mobipriv: ZoneWindow must be positive")
-	}
-	if o.ZoneCooldown < 0 {
-		return errors.New("mobipriv: ZoneCooldown must be non-negative")
-	}
-	return nil
-}
-
-// Anonymizer applies the two-step pipeline. It is immutable and safe
-// for concurrent use by multiple goroutines (each Anonymize call is
-// self-contained).
+// Anonymizer is the legacy entry point to the paper's pipeline, kept as
+// a thin shim over Pipeline(Options.stages()...). It is immutable and
+// safe for concurrent use by multiple goroutines (each Anonymize call
+// is self-contained).
 type Anonymizer struct {
 	opts Options
+	mech Mechanism
 }
 
 // New validates the options and returns an Anonymizer.
@@ -133,28 +86,12 @@ func New(opts Options) (*Anonymizer, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &Anonymizer{opts: opts}, nil
+	return &Anonymizer{opts: opts, mech: Pipeline(opts.stages()...)}, nil
 }
 
-// Result is the outcome of anonymizing a dataset, including the
-// evaluation ground truth (which the publisher must keep secret).
-type Result struct {
-	// Dataset is the publishable anonymized dataset.
-	Dataset *Dataset
-	// DroppedUsers lists original users whose traces were too short to
-	// anonymize and were therefore withheld.
-	DroppedUsers []string
-	// Zones is the number of natural mix-zones exploited.
-	Zones int
-	// Swaps is the number of zones whose permutation actually changed
-	// identities.
-	Swaps int
-	// SuppressedPoints counts observations removed inside mix-zones.
-	SuppressedPoints int
-
-	segments  []mixzone.Segment // ground truth over pre-pseudonym labels
-	pseudonym map[string]string // pre-pseudonym label -> published label
-}
+// Mechanism exposes the pipeline behind this Anonymizer, for callers
+// migrating to the Mechanism API (Runner, registries).
+func (a *Anonymizer) Mechanism() Mechanism { return a.mech }
 
 // Anonymize runs the pipeline on d and returns the published dataset
 // plus ground-truth metadata. The input dataset is not modified.
@@ -169,163 +106,19 @@ type Result struct {
 // published trace is a single constant-speed journey with no visible
 // suture inside the zone.
 func (a *Anonymizer) Anonymize(d *Dataset) (*Result, error) {
-	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("mobipriv: %w", err)
-	}
-	res := &Result{}
-
-	// Step 1: mix-zone swapping on the original timing.
-	mz, err := mixzone.Apply(d, mixzone.Config{
-		Radius:         a.opts.ZoneRadius,
-		Window:         a.opts.ZoneWindow,
-		Cooldown:       a.opts.ZoneCooldown,
-		SwapSeed:       a.opts.Seed,
-		NoSwap:         a.opts.DisableSwapping,
-		NoSuppress:     a.opts.DisableSuppression,
-		SuppressWindow: 0,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("mobipriv: mix-zones: %w", err)
-	}
-	res.Zones = len(mz.Zones)
-	res.Swaps = mz.SwapCount()
-	res.SuppressedPoints = mz.Suppressed
-	res.DroppedUsers = append(res.DroppedUsers, mz.DroppedUsers...)
-	res.segments = mz.Segments
-
-	// Step 2: speed smoothing of the swapped composites.
-	working := mz.Dataset
-	if !a.opts.DisableSmoothing {
-		smoothed, rep, err := core.SmoothDataset(working, core.Config{Epsilon: a.opts.Epsilon, Trim: a.opts.Trim})
-		if err != nil {
-			return nil, fmt.Errorf("mobipriv: smoothing: %w", err)
-		}
-		res.DroppedUsers = append(res.DroppedUsers, rep.Dropped...)
-		working = smoothed
-	}
-	sort.Strings(res.DroppedUsers)
-
-	// Step 3: pseudonymize output identities.
-	out := working
-	res.pseudonym = make(map[string]string, out.Len())
-	if a.opts.PseudonymPrefix != "" {
-		renamed := make([]*Trace, 0, out.Len())
-		// Deterministic but label-decorrelated assignment: sort users,
-		// then assign pseudonyms in an order scrambled by the seed.
-		users := out.Users()
-		perm := seededPerm(len(users), a.opts.Seed)
-		for i, u := range users {
-			res.pseudonym[u] = fmt.Sprintf("%s%03d", a.opts.PseudonymPrefix, perm[i])
-		}
-		for _, tr := range out.Traces() {
-			cp := tr.Clone()
-			cp.User = res.pseudonym[tr.User]
-			renamed = append(renamed, cp)
-		}
-		out, err = trace.NewDataset(renamed)
-		if err != nil {
-			return nil, fmt.Errorf("mobipriv: pseudonymize: %w", err)
-		}
-	} else {
-		for _, u := range out.Users() {
-			res.pseudonym[u] = u
-		}
-	}
-	res.Dataset = out
-	return res, nil
+	return a.mech.Apply(context.Background(), d)
 }
 
-// seededPerm returns a deterministic permutation of [0, n) derived from
-// the seed without importing math/rand here: a simple multiplicative
-// shuffle keyed by splitmix64.
-func seededPerm(n int, seed int64) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	s := uint64(seed) ^ 0x9e3779b97f4a7c15
-	next := func() uint64 {
-		s += 0x9e3779b97f4a7c15
-		z := s
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-	for i := n - 1; i > 0; i-- {
-		j := int(next() % uint64(i+1))
-		out[i], out[j] = out[j], out[i]
-	}
-	return out
-}
-
-// OriginalAt reports which original user's observations the published
-// identity carries at the given instant. This is secret ground truth for
-// evaluation; a real publisher would not release it.
-//
-// Caveat: the instant refers to the pre-smoothing timeline. Smoothing
-// re-distributes timestamps along each composite path, so time-pointwise
-// lookups are approximate near swap seams; identity-level conclusions
-// (MajorityOwner, final identity) are exact.
-func (r *Result) OriginalAt(published string, ts time.Time) (string, bool) {
-	pre, ok := r.prePseudonym(published)
-	if !ok {
-		return "", false
-	}
-	for _, s := range r.segments {
-		if s.Output == pre && !ts.Before(s.From) && !ts.After(s.To) {
-			return s.Original, true
-		}
-	}
-	return "", false
-}
-
-// MajorityOwner returns the original user contributing the longest total
-// time to the published identity, or "" if unknown.
-func (r *Result) MajorityOwner(published string) string {
-	pre, ok := r.prePseudonym(published)
-	if !ok {
-		return ""
-	}
-	totals := make(map[string]time.Duration)
-	for _, s := range r.segments {
-		if s.Output == pre {
-			totals[s.Original] += s.To.Sub(s.From)
-		}
-	}
-	var best string
-	var bestDur time.Duration = -1
-	owners := make([]string, 0, len(totals))
-	for u := range totals {
-		owners = append(owners, u)
-	}
-	sort.Strings(owners)
-	for _, u := range owners {
-		if totals[u] > bestDur {
-			best, bestDur = u, totals[u]
-		}
-	}
-	return best
-}
-
-// PseudonymOf returns the published label of a pre-pseudonym identity.
-// Evaluation-only.
-func (r *Result) PseudonymOf(preLabel string) (string, bool) {
-	p, ok := r.pseudonym[preLabel]
-	return p, ok
-}
-
-func (r *Result) prePseudonym(published string) (string, bool) {
-	for pre, pub := range r.pseudonym {
-		if pub == published {
-			return pre, true
-		}
-	}
-	return "", false
+// AnonymizeContext is Anonymize honoring context cancellation and the
+// Runner worker budget.
+func (a *Anonymizer) AnonymizeContext(ctx context.Context, d *Dataset) (*Result, error) {
+	return a.mech.Apply(ctx, d)
 }
 
 // SmoothOnly applies only the speed-smoothing step with the given
 // spacing (meters) and default trimming — the minimal API for callers
 // who publish single-user data and cannot benefit from swapping.
+// Equivalent to applying the Promesse mechanism.
 func SmoothOnly(d *Dataset, epsilon float64) (*Dataset, []string, error) {
 	out, rep, err := core.SmoothDataset(d, core.Config{Epsilon: epsilon, Trim: -1})
 	if err != nil {

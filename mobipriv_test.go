@@ -44,9 +44,9 @@ func TestAnonymizeEndToEnd(t *testing.T) {
 			t.Errorf("pseudonym %q collides with an original user", u)
 		}
 	}
-	if res.Dataset.Len()+len(res.DroppedUsers) != g.Dataset.Len() {
+	if res.Dataset.Len()+len(res.DroppedUsers()) != g.Dataset.Len() {
 		t.Errorf("published %d + dropped %d != input %d",
-			res.Dataset.Len(), len(res.DroppedUsers), g.Dataset.Len())
+			res.Dataset.Len(), len(res.DroppedUsers()), g.Dataset.Len())
 	}
 }
 
@@ -127,7 +127,7 @@ func TestAnonymizeDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Dataset.TotalPoints() != r2.Dataset.TotalPoints() || r1.Zones != r2.Zones || r1.Swaps != r2.Swaps {
+	if r1.Dataset.TotalPoints() != r2.Dataset.TotalPoints() || r1.Zones() != r2.Zones() || r1.Swaps() != r2.Swaps() {
 		t.Fatal("same options + same input must give identical results")
 	}
 	u1, u2 := r1.Dataset.Users(), r2.Dataset.Users()
@@ -151,8 +151,8 @@ func TestAnonymizeAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Swaps != 0 {
-		t.Errorf("DisableSwapping: %d swaps", r1.Swaps)
+	if r1.Swaps() != 0 {
+		t.Errorf("DisableSwapping: %d swaps", r1.Swaps())
 	}
 
 	noSupp := DefaultOptions()
@@ -165,8 +165,8 @@ func TestAnonymizeAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2.SuppressedPoints != 0 {
-		t.Errorf("DisableSuppression: %d suppressed", r2.SuppressedPoints)
+	if r2.SuppressedPoints() != 0 {
+		t.Errorf("DisableSuppression: %d suppressed", r2.SuppressedPoints())
 	}
 
 	noSmooth := DefaultOptions()

@@ -1,0 +1,88 @@
+package mobipriv
+
+import (
+	"errors"
+	"time"
+)
+
+// Options configures the paper's full anonymization pipeline. It is the
+// legacy all-in-one configuration kept for the Anonymizer shim; new
+// code composes Stage values with Pipeline directly, or resolves a
+// mechanism with FromSpec.
+type Options struct {
+	// Epsilon is the published inter-point spacing in meters (speed
+	// smoothing). Default 100.
+	Epsilon float64
+	// Trim is the path distance removed from both trace ends, hiding the
+	// first and last stops. Negative means "equal to Epsilon" (default).
+	Trim float64
+	// ZoneRadius is the mix-zone radius in meters. Default 100.
+	ZoneRadius float64
+	// ZoneWindow is the co-location window for meeting detection.
+	// Default 1 minute.
+	ZoneWindow time.Duration
+	// ZoneCooldown limits repeated zones for the same user pair.
+	// Default 15 minutes.
+	ZoneCooldown time.Duration
+	// Seed drives the swap permutations and pseudonym assignment.
+	Seed int64
+	// DisableSwapping keeps zone suppression but never swaps identities
+	// (ablation).
+	DisableSwapping bool
+	// DisableSuppression keeps swapping but publishes in-zone points
+	// (ablation).
+	DisableSuppression bool
+	// DisableSmoothing skips the smoothing stage entirely (ablation).
+	DisableSmoothing bool
+	// PseudonymPrefix names output identities Prefix000, Prefix001, ...
+	// Empty disables pseudonymization (identities remain the — possibly
+	// swapped — original labels; useful for debugging).
+	PseudonymPrefix string
+}
+
+// DefaultOptions returns the operating point used across the
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		Epsilon:         100,
+		Trim:            -1,
+		ZoneRadius:      100,
+		ZoneWindow:      time.Minute,
+		ZoneCooldown:    15 * time.Minute,
+		Seed:            1,
+		PseudonymPrefix: "p",
+	}
+}
+
+func (o Options) validate() error {
+	if o.Epsilon <= 0 && !o.DisableSmoothing {
+		return errors.New("mobipriv: Epsilon must be positive")
+	}
+	if o.ZoneRadius <= 0 {
+		return errors.New("mobipriv: ZoneRadius must be positive")
+	}
+	if o.ZoneWindow <= 0 {
+		return errors.New("mobipriv: ZoneWindow must be positive")
+	}
+	if o.ZoneCooldown < 0 {
+		return errors.New("mobipriv: ZoneCooldown must be non-negative")
+	}
+	return nil
+}
+
+// stages translates the legacy Options into the equivalent composable
+// stage sequence.
+func (o Options) stages() []Stage {
+	stages := []Stage{MixZoneSwap{
+		Radius:          o.ZoneRadius,
+		Window:          o.ZoneWindow,
+		Cooldown:        o.ZoneCooldown,
+		Seed:            o.Seed,
+		DisableSwap:     o.DisableSwapping,
+		DisableSuppress: o.DisableSuppression,
+	}}
+	if !o.DisableSmoothing {
+		stages = append(stages, SpeedSmooth{Epsilon: o.Epsilon, Trim: o.Trim})
+	}
+	return append(stages, Pseudonymize{Prefix: o.PseudonymPrefix, Seed: o.Seed})
+}

@@ -1,0 +1,51 @@
+package mobipriv
+
+import (
+	"context"
+	"errors"
+
+	"mobipriv/internal/par"
+)
+
+// Runner executes mechanisms with a configurable degree of per-trace
+// parallelism. Parallelism is a property of the runtime, not of any
+// mechanism: the Runner stores its worker budget in the context, and
+// stages with embarrassingly parallel work (speed smoothing,
+// geo-indistinguishability perturbation) fan out across the pool while
+// producing output byte-identical to a serial run.
+//
+// The zero Runner is not valid; use NewRunner.
+type Runner struct {
+	workers int
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithWorkers sets the worker-pool size for per-trace work. n <= 0
+// means "one worker per CPU".
+func WithWorkers(n int) RunnerOption {
+	return func(r *Runner) { r.workers = n }
+}
+
+// NewRunner returns a Runner; without options it runs serially
+// (one worker), matching a plain Mechanism.Apply call.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{workers: 1}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Workers reports the configured pool size (0 meaning per-CPU).
+func (r *Runner) Workers() int { return r.workers }
+
+// Run applies the mechanism with this Runner's worker budget attached
+// to the context. Cancelling ctx aborts the work.
+func (r *Runner) Run(ctx context.Context, m Mechanism, d *Dataset) (*Result, error) {
+	if m == nil {
+		return nil, errors.New("mobipriv: nil mechanism")
+	}
+	return m.Apply(par.WithWorkers(ctx, r.workers), d)
+}
