@@ -2,6 +2,7 @@ package mobipriv
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"mobipriv/internal/baseline/geoind"
@@ -15,7 +16,7 @@ import (
 // order listed:
 //
 //	raw                                  — identity publication (strawman)
-//	promesse(epsilon, trim)              — speed smoothing only
+//	promesse(epsilon, trim, window)      — speed smoothing only
 //	pipeline(epsilon, zone-radius, ...)  — the paper's full pipeline
 //	geoi(epsilon, seed)                  — planar Laplace (Andrés et al.)
 //	w4m(k, delta, grid, max-radius)      — (k,δ)-anonymity (Abul et al.)
@@ -26,7 +27,11 @@ func init() {
 	Register("promesse", func(p *Params) (Mechanism, error) {
 		eps := p.Float("epsilon", 100)
 		trim := p.Float("trim", -1)
-		return promesse(eps, trim), nil
+		window := p.Float("window", 0) // streaming smoothing horizon; 0 = 10*epsilon
+		if eps <= 0 {
+			return nil, errors.New("epsilon must be positive")
+		}
+		return promesse(eps, trim, window), nil
 	})
 	Register("pipeline", func(p *Params) (Mechanism, error) {
 		o := DefaultOptions()
@@ -48,6 +53,9 @@ func init() {
 	Register("geoi", func(p *Params) (Mechanism, error) {
 		eps := p.Float("epsilon", 0.01)
 		seed := p.Int64("seed", 1)
+		if eps <= 0 {
+			return nil, errors.New("epsilon must be positive")
+		}
 		return GeoI(eps, seed), nil
 	})
 	Register("w4m", func(p *Params) (Mechanism, error) {
@@ -62,9 +70,10 @@ func init() {
 
 // Raw returns the identity mechanism: the dataset is published as-is
 // (the strawman every evaluation compares against). The input dataset
-// is returned without copying.
+// is returned without copying. It is streaming-capable (AsStreaming):
+// the online adapter republishes every update immediately.
 func Raw() Mechanism {
-	return NewMechanism("raw", func(ctx context.Context, d *Dataset) (*Result, error) {
+	m := NewMechanism("raw", func(ctx context.Context, d *Dataset) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -72,17 +81,20 @@ func Raw() Mechanism {
 		res.AddReport(StageReport{Stage: "raw"})
 		return res, nil
 	})
+	return WithStreaming(m, streamRaw())
 }
 
 // Promesse returns the smoothing-only mechanism (the paper's PROMESSE
 // with default end-trimming): constant-speed re-publication at the
 // given inter-point spacing in meters. Traces too short to anonymize
-// are dropped and reported.
-func Promesse(epsilon float64) Mechanism { return promesse(epsilon, -1) }
+// are dropped and reported. It is streaming-capable (AsStreaming): the
+// online adapter smooths over a sliding distance window instead of the
+// whole trace (see internal/stream).
+func Promesse(epsilon float64) Mechanism { return promesse(epsilon, -1, 0) }
 
-func promesse(epsilon, trim float64) Mechanism {
+func promesse(epsilon, trim, window float64) Mechanism {
 	name := fmt.Sprintf("promesse(epsilon=%g)", epsilon)
-	return NewMechanism(name, func(ctx context.Context, d *Dataset) (*Result, error) {
+	m := NewMechanism(name, func(ctx context.Context, d *Dataset) (*Result, error) {
 		out, rep, err := core.SmoothDatasetCtx(ctx, d, core.Config{Epsilon: epsilon, Trim: trim})
 		if err != nil {
 			return nil, err
@@ -91,16 +103,19 @@ func promesse(epsilon, trim float64) Mechanism {
 		res.AddReport(StageReport{Stage: "smooth", Dropped: rep.Dropped})
 		return res, nil
 	})
+	return WithStreaming(m, streamPromesse(epsilon, window))
 }
 
 // GeoI returns the geo-indistinguishability baseline (planar Laplace
 // noise, Andrés et al. CCS'13) at the given privacy parameter in
 // 1/meters. Each trace is perturbed with an independent RNG derived
 // from (seed, user), so output is deterministic for a seed regardless
-// of the Runner's worker count.
+// of the Runner's worker count. It is streaming-capable (AsStreaming)
+// with byte-identical output: the online adapter derives the same
+// per-user noise streams.
 func GeoI(epsilon float64, seed int64) Mechanism {
 	name := fmt.Sprintf("geoi(epsilon=%g)", epsilon)
-	return NewMechanism(name, func(ctx context.Context, d *Dataset) (*Result, error) {
+	m := NewMechanism(name, func(ctx context.Context, d *Dataset) (*Result, error) {
 		out, err := geoind.PerturbDatasetCtx(ctx, d, geoind.Config{Epsilon: epsilon, Seed: seed})
 		if err != nil {
 			return nil, err
@@ -109,6 +124,7 @@ func GeoI(epsilon float64, seed int64) Mechanism {
 		res.AddReport(StageReport{Stage: "geoi"})
 		return res, nil
 	})
+	return WithStreaming(m, streamGeoI(epsilon, seed))
 }
 
 // W4M returns the Wait4Me (k,δ)-anonymity baseline (Abul, Bonchi &

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"mobipriv/internal/core"
 	"mobipriv/internal/experiment"
 	"mobipriv/internal/mixzone"
+	"mobipriv/internal/stream"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
 )
@@ -183,6 +186,99 @@ func workerSweep() []int {
 		}
 	}
 	return out
+}
+
+// streamBenchUpdates flattens the bench dataset into the time-ordered
+// update stream a live ingestion path would see.
+func streamBenchUpdates(b *testing.B, users int) []stream.Update {
+	b.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = users
+	cfg.Sampling = 30 * time.Second
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out []stream.Update
+	for _, tr := range g.Dataset.Traces() {
+		for _, p := range tr.Points {
+			out = append(out, stream.Update{User: tr.User, Point: p})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// benchStreamEngine replays the update stream through an engine running
+// the given factory, reporting sustained points/sec (the serving-path
+// throughput metric mobiserve's acceptance bar is measured against).
+func benchStreamEngine(b *testing.B, shards int, factory stream.Factory) {
+	updates := streamBenchUpdates(b, 32)
+	var consumed atomic.Uint64
+	eng, err := stream.NewEngine(stream.Config{
+		Shards: shards,
+		Sink:   func(batch []stream.Update) { consumed.Add(uint64(len(batch))) },
+	}, factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(context.Background()) }()
+	ctx := context.Background()
+	const batch = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < len(updates); j += batch {
+			end := j + batch
+			if end > len(updates) {
+				end = len(updates)
+			}
+			if err := eng.Push(ctx, updates[j:end]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(updates))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	if consumed.Load() == 0 {
+		b.Fatal("engine produced no output")
+	}
+}
+
+// BenchmarkStreamEngine sweeps the shard count over the streaming
+// engine running the windowed Promesse smoother — the online serving
+// analogue of BenchmarkSmoothParallel.
+func BenchmarkStreamEngine(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStreamEngine(b, shards, func(user string) stream.Mechanism {
+				return stream.Promesse{Epsilon: 100, Window: 500}.New(user)
+			})
+		})
+	}
+}
+
+// BenchmarkStreamEngineGeoI measures engine throughput with the
+// per-point geoi mechanism (the cheapest adapter, so this is closest to
+// the engine's raw points/sec ceiling).
+func BenchmarkStreamEngineGeoI(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStreamEngine(b, shards, func(user string) stream.Mechanism {
+				return stream.GeoI{Epsilon: 0.01, Seed: 1}.New(user)
+			})
+		})
+	}
 }
 
 // BenchmarkMixZones measures step 2 alone (detection + swap).

@@ -1,0 +1,387 @@
+// Command mobiserve is the online anonymization service: it ingests an
+// unbounded stream of location updates over HTTP, pushes them through
+// the sharded streaming engine (internal/stream) running any
+// streaming-capable mechanism from the mobipriv registry, and republishes
+// the anonymized stream — the serving-path counterpart of the batch
+// mobianon tool.
+//
+//	mobiserve -addr :8080 -mechanism "geoi(0.01)" -shards 8
+//
+// Endpoints:
+//
+//	POST /ingest   NDJSON {"user":..,"t":..,"lat":..,"lng":..} (or CSV
+//	               with Content-Type: text/csv); responds with the
+//	               number of accepted points. Backpressure: the request
+//	               blocks while shard queues are full.
+//	POST /flush    finalize and evict every open trace, forcing out all
+//	               withheld points (end of a replay).
+//	GET  /out      stream anonymized output as NDJSON until the client
+//	               disconnects (points anonymized after connect).
+//	GET  /stats    JSON: per-shard queue depth and user counts,
+//	               points/sec, evictions.
+//
+// Quickstart against a generated dataset:
+//
+//	mobigen -out day.jsonl -format jsonl
+//	mobiserve -addr :8080 -mechanism "promesse(epsilon=100)" -sink anon.jsonl &
+//	curl -s -XPOST --data-binary @day.jsonl localhost:8080/ingest
+//	curl -s -XPOST localhost:8080/flush
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mobipriv"
+	"mobipriv/internal/stream"
+	"mobipriv/internal/trace"
+	"mobipriv/internal/traceio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mobiserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mobiserve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		mech      = fs.String("mechanism", "promesse", "streaming-capable mechanism spec (see -list-streaming)")
+		shards    = fs.Int("shards", 8, "per-user state partitions (one goroutine each)")
+		queue     = fs.Int("queue", 64, "per-shard queue depth in batches (backpressure bound)")
+		batch     = fs.Int("batch", 256, "ingest batch size in points")
+		ttl       = fs.Duration("ttl", 10*time.Minute, "evict users idle longer than this (0 disables)")
+		sink      = fs.String("sink", "", "append anonymized output to this NDJSON file")
+		pseudonym = fs.String("pseudonym", "", "relabel output users with this pseudonym prefix")
+		seed      = fs.Int64("seed", 1, "pseudonym seed")
+		list      = fs.Bool("list-streaming", false, "list streaming-capable mechanisms and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(mobipriv.StreamingMechanisms(), "\n"))
+		return nil
+	}
+
+	srv, err := newServer(serverConfig{
+		Spec:      *mech,
+		Shards:    *shards,
+		Queue:     *queue,
+		Batch:     *batch,
+		TTL:       *ttl,
+		Pseudonym: *pseudonym,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *sink != "" {
+		f, err := os.OpenFile(*sink, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open sink: %w", err)
+		}
+		defer f.Close()
+		srv.sinkFile = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The engine runs on a background context and stops only through
+	// Close: stopping it with the signal context would kill the shard
+	// goroutines before they flush, dropping every withheld sample.
+	engDone := make(chan error, 1)
+	go func() { engDone <- srv.eng.Run(context.Background()) }()
+	shutdownEngine := func() error {
+		srv.eng.Close()
+		return <-engDone
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+	}()
+	log.Printf("mobiserve: %s on %s (%d shards)", srv.mechName, *addr, *shards)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		shutdownEngine()
+		return err
+	}
+	return shutdownEngine()
+}
+
+type serverConfig struct {
+	Spec      string
+	Shards    int
+	Queue     int
+	Batch     int
+	TTL       time.Duration
+	Pseudonym string
+	Seed      int64
+}
+
+// server owns the engine and fans its output to the sink file and the
+// live /out subscribers.
+type server struct {
+	eng      *stream.Engine
+	mechName string
+	batch    int
+	started  time.Time
+
+	mu        sync.Mutex
+	sinkFile  io.Writer
+	subs      map[int]chan []stream.Update
+	nextSub   int
+	dropped   atomic.Uint64
+	sinkFails atomic.Uint64
+}
+
+// newServer resolves the mechanism spec to its streaming adapter and
+// builds the engine around it (not yet running).
+func newServer(cfg serverConfig) (*server, error) {
+	m, err := mobipriv.FromSpec(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	factory, ok := mobipriv.AsStreaming(m)
+	if !ok {
+		return nil, fmt.Errorf("mechanism %q cannot run online (streaming-capable: %s)",
+			m.Name(), strings.Join(mobipriv.StreamingMechanisms(), ", "))
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	srv := &server{
+		mechName: m.Name(),
+		batch:    cfg.Batch,
+		started:  time.Now(),
+		subs:     make(map[int]chan []stream.Update),
+	}
+	pseudo := stream.Pseudonymize{Prefix: cfg.Pseudonym, Seed: cfg.Seed}
+	eng, err := stream.NewEngine(stream.Config{
+		Shards:     cfg.Shards,
+		QueueDepth: cfg.Queue,
+		IdleTTL:    cfg.TTL,
+		Sink:       srv.sink,
+	}, func(user string) stream.Mechanism {
+		mech := stream.Mechanism(factory(user))
+		if cfg.Pseudonym != "" {
+			mech = stream.Chain(mech, pseudo.New(user))
+		}
+		return mech
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.eng = eng
+	return srv, nil
+}
+
+// sink receives anonymized batches from the shard goroutines. The
+// engine reuses the batch after the call, so subscribers get a copy.
+func (s *server) sink(batch []stream.Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sinkFile != nil {
+		var buf bytes.Buffer
+		for _, u := range batch {
+			traceio.WriteJSONLRecord(&buf, u.User, u.Point)
+		}
+		if _, err := s.sinkFile.Write(buf.Bytes()); err != nil {
+			// Count every failed batch, log only the first: a full disk
+			// must surface in /stats without flooding the log.
+			if s.sinkFails.Add(1) == 1 {
+				log.Printf("mobiserve: sink write failed (counting further failures in /stats): %v", err)
+			}
+		}
+	}
+	if len(s.subs) == 0 {
+		return
+	}
+	cp := make([]stream.Update, len(batch))
+	copy(cp, batch)
+	for _, ch := range s.subs {
+		select {
+		case ch <- cp:
+		default:
+			s.dropped.Add(uint64(len(cp))) // slow reader: drop, never stall shards
+		}
+	}
+}
+
+func (s *server) subscribe() (int, <-chan []stream.Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextSub
+	s.nextSub++
+	ch := make(chan []stream.Update, 256)
+	s.subs[id] = ch
+	return id, ch
+}
+
+func (s *server) unsubscribe(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, id)
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /flush", s.handleFlush)
+	mux.HandleFunc("GET /out", s.handleOut)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// handleIngest decodes the request body record-at-a-time (never holding
+// more than one batch in memory) and pushes batches into the engine,
+// blocking on shard backpressure.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	accepted := 0
+	updates := make([]stream.Update, 0, s.batch)
+	push := func() error {
+		if len(updates) == 0 {
+			return nil
+		}
+		if err := s.eng.Push(ctx, updates...); err != nil {
+			return err
+		}
+		accepted += len(updates)
+		updates = updates[:0]
+		return nil
+	}
+	record := func(user string, p trace.Point) error {
+		updates = append(updates, stream.Update{User: user, Point: p})
+		if len(updates) >= s.batch {
+			return push()
+		}
+		return nil
+	}
+	var err error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
+		err = traceio.DecodeCSV(r.Body, record)
+	} else {
+		err = traceio.DecodeJSONL(r.Body, record)
+	}
+	if err == nil {
+		err = push()
+	}
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"accepted": accepted})
+}
+
+func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.Flush(r.Context()); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"flushed": true})
+}
+
+// handleOut streams anonymized output as NDJSON from the moment of
+// connection until the client goes away.
+func (s *server) handleOut(w http.ResponseWriter, r *http.Request) {
+	fl, _ := w.(http.Flusher)
+	id, ch := s.subscribe()
+	defer s.unsubscribe(id)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if fl != nil {
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case batch := <-ch:
+			var buf bytes.Buffer
+			for _, u := range batch {
+				traceio.WriteJSONLRecord(&buf, u.User, u.Point)
+			}
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+}
+
+// statsResponse is the /stats wire format.
+type statsResponse struct {
+	Mechanism   string              `json:"mechanism"`
+	UptimeS     float64             `json:"uptime_s"`
+	In          uint64              `json:"points_in"`
+	Out         uint64              `json:"points_out"`
+	PointsPerS  float64             `json:"points_per_s"`
+	Evicted     uint64              `json:"evicted_users"`
+	ActiveUsers int                 `json:"active_users"`
+	DroppedSub  uint64              `json:"dropped_subscriber_points"`
+	SinkFails   uint64              `json:"sink_write_failures"`
+	Shards      []stream.ShardStats `json:"shards"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	up := time.Since(s.started).Seconds()
+	resp := statsResponse{
+		Mechanism:   s.mechName,
+		UptimeS:     up,
+		In:          st.In,
+		Out:         st.Out,
+		Evicted:     st.Evicted,
+		ActiveUsers: st.ActiveUsers,
+		DroppedSub:  s.dropped.Load(),
+		SinkFails:   s.sinkFails.Load(),
+		Shards:      st.Shards,
+	}
+	if up > 0 {
+		resp.PointsPerS = float64(st.In) / up
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, stream.ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusRequestTimeout
+	}
+	http.Error(w, err.Error(), code)
+}

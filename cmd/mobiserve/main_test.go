@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mobipriv"
+	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
+	"mobipriv/internal/traceio"
+)
+
+// startServer builds a server around the config, runs its engine, and
+// returns an httptest server plus a shutdown function.
+func startServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server, func()) {
+	t.Helper()
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.eng.Run(context.Background()) }()
+	hs := httptest.NewServer(srv.handler())
+	stop := func() {
+		hs.Close()
+		srv.eng.Close()
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv, hs, stop
+}
+
+func testDataset(t *testing.T, users int) *trace.Dataset {
+	t.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = users
+	cfg.Sampling = 2 * time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Dataset
+}
+
+func postNDJSON(t *testing.T, url string, d *trace.Dataset) int {
+	t.Helper()
+	var body bytes.Buffer
+	if err := traceio.WriteJSONL(&body, d); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/ingest", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	var out struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Accepted
+}
+
+func postFlush(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Post(url+"/flush", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush status %d", resp.StatusCode)
+	}
+}
+
+// TestServeGeoIEquivalence is the serving-path half of the
+// replay-equivalence acceptance: NDJSON in over HTTP, flush, and the
+// sink file matches the batch mechanism byte for byte.
+func TestServeGeoIEquivalence(t *testing.T) {
+	d := testDataset(t, 6)
+	var sink bytes.Buffer
+	srv, hs, stop := startServer(t, serverConfig{Spec: "geoi(epsilon=0.01,seed=7)", Shards: 4})
+	defer stop()
+	srv.sinkFile = &sink // safe: set before any ingest
+
+	if got := postNDJSON(t, hs.URL, d); got != d.TotalPoints() {
+		t.Fatalf("accepted %d points, want %d", got, d.TotalPoints())
+	}
+	postFlush(t, hs.URL)
+
+	got, err := traceio.ReadJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := mobipriv.MustFromSpec("geoi(epsilon=0.01,seed=7)").Apply(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batch.Dataset
+	if got.Len() != want.Len() {
+		t.Fatalf("served %d users, batch %d", got.Len(), want.Len())
+	}
+	for _, wtr := range want.Traces() {
+		gtr := got.ByUser(wtr.User)
+		if gtr == nil || gtr.Len() != wtr.Len() {
+			t.Fatalf("user %s: served %v, want %d points", wtr.User, gtr, wtr.Len())
+		}
+		for i := range wtr.Points {
+			g, w := gtr.Points[i], wtr.Points[i]
+			if g.Lat != w.Lat || g.Lng != w.Lng || !g.Time.Equal(w.Time) {
+				t.Fatalf("user %s point %d: served %v, batch %v", wtr.User, i, g, w)
+			}
+		}
+	}
+}
+
+func TestServeCSVIngestAndStats(t *testing.T) {
+	d := testDataset(t, 3)
+	_, hs, stop := startServer(t, serverConfig{Spec: "raw", Shards: 2})
+	defer stop()
+	var body bytes.Buffer
+	if err := traceio.WriteCSV(&body, d); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/ingest", "text/csv", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv ingest status %d", resp.StatusCode)
+	}
+	postFlush(t, hs.URL)
+
+	resp, err = http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.In != uint64(d.TotalPoints()) || st.Out != uint64(d.TotalPoints()) {
+		t.Errorf("stats in=%d out=%d, want %d each", st.In, st.Out, d.TotalPoints())
+	}
+	if st.Mechanism != "raw" || len(st.Shards) != 2 || st.ActiveUsers != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestServeOutStreams subscribes to /out before ingesting and reads the
+// anonymized stream live.
+func TestServeOutStreams(t *testing.T) {
+	d := testDataset(t, 2)
+	_, hs, stop := startServer(t, serverConfig{Spec: "raw", Shards: 1, Pseudonym: "p", Seed: 1})
+	defer stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", hs.URL+"/out", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	postNDJSON(t, hs.URL, d)
+	postFlush(t, hs.URL)
+
+	sc := bufio.NewScanner(resp.Body)
+	seen := 0
+	for seen < d.TotalPoints() && sc.Scan() {
+		line := sc.Text()
+		var rec struct {
+			User string `json:"user"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad /out line %q: %v", line, err)
+		}
+		if !strings.HasPrefix(rec.User, "p") {
+			t.Fatalf("output user %q not pseudonymized", rec.User)
+		}
+		seen++
+	}
+	if seen != d.TotalPoints() {
+		t.Fatalf("streamed %d points, want %d", seen, d.TotalPoints())
+	}
+}
+
+func TestServeRejectsNonStreamingSpec(t *testing.T) {
+	_, err := newServer(serverConfig{Spec: "pipeline"})
+	if err == nil || !strings.Contains(err.Error(), "streaming-capable") {
+		t.Fatalf("err = %v, want streaming-capable listing", err)
+	}
+	if _, err := newServer(serverConfig{Spec: "nope"}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestServeBadIngest(t *testing.T) {
+	_, hs, stop := startServer(t, serverConfig{Spec: "raw"})
+	defer stop()
+	resp, err := http.Post(hs.URL+"/ingest", "application/x-ndjson", strings.NewReader("{not json\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ingest status %d, want 400", resp.StatusCode)
+	}
+}

@@ -61,6 +61,26 @@ func New(cfg Config) (*Mechanism, error) {
 	return &Mechanism{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
 }
 
+// NewForUser returns a mechanism whose noise stream is derived from
+// (cfg.Seed, user) exactly as PerturbDatasetCtx derives per-trace RNGs,
+// so feeding a user's observations through PerturbPoint one at a time
+// (in order) reproduces the batch output byte for byte. This is the
+// constructor the streaming adapter uses.
+func NewForUser(cfg Config, user string) (*Mechanism, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Mechanism{cfg: cfg, rng: rand.New(rand.NewSource(traceSeed(cfg.Seed, user)))}, nil
+}
+
+// PerturbPoint displaces one observation by planar Laplace noise,
+// advancing the mechanism's noise stream by one draw. The timestamp is
+// unchanged.
+func (m *Mechanism) PerturbPoint(p trace.Point) trace.Point {
+	dx, dy := m.SampleNoise()
+	return trace.Point{Point: geo.Offset(p.Point, dx, dy), Time: p.Time}
+}
+
 // SampleNoise draws one polar Laplace displacement (dx, dy) in meters.
 func (m *Mechanism) SampleNoise() (dx, dy float64) {
 	theta := m.rng.Float64() * 2 * math.Pi
@@ -133,8 +153,7 @@ func (m *Mechanism) Perturb(tr *trace.Trace) (*trace.Trace, error) {
 	}
 	pts := make([]trace.Point, tr.Len())
 	for i, p := range tr.Points {
-		dx, dy := m.SampleNoise()
-		pts[i] = trace.Point{Point: geo.Offset(p.Point, dx, dy), Time: p.Time}
+		pts[i] = m.PerturbPoint(p)
 	}
 	out, err := trace.New(tr.User, pts)
 	if err != nil {
@@ -162,7 +181,10 @@ func PerturbDatasetCtx(ctx context.Context, d *trace.Dataset, cfg Config) (*trac
 	traces := d.Traces()
 	out := make([]*trace.Trace, len(traces))
 	err := par.Map(ctx, len(traces), func(i int) error {
-		m := &Mechanism{cfg: cfg, rng: rand.New(rand.NewSource(traceSeed(cfg.Seed, traces[i].User)))}
+		m, err := NewForUser(cfg, traces[i].User)
+		if err != nil {
+			return err
+		}
 		p, err := m.Perturb(traces[i])
 		if err != nil {
 			return err

@@ -1,0 +1,86 @@
+package rng
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"testing"
+)
+
+// TestMixKnownAnswers pins Mix to the reference splitmix64
+// implementation (Vigna's splitmix64.c): iterating state += Gamma from
+// state 0 and finalizing must reproduce the published first outputs of
+// the seed-0 stream. Every seeded shuffle and per-trace seed derivation
+// in the repository depends on these exact values.
+func TestMixKnownAnswers(t *testing.T) {
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	var s uint64
+	for i, w := range want {
+		s += Gamma
+		if got := Mix(s); got != w {
+			t.Errorf("output %d = %#016x, want %#016x", i, got, w)
+		}
+	}
+	if Gamma != 0x9e3779b97f4a7c15 {
+		t.Errorf("Gamma = %#016x, want golden-ratio constant", uint64(Gamma))
+	}
+}
+
+// TestMixDeterministic: same input, same output — the property every
+// replay-equivalence guarantee in the repository rests on.
+func TestMixDeterministic(t *testing.T) {
+	for _, z := range []uint64{0, 1, Gamma, ^uint64(0), 0xdeadbeef} {
+		if Mix(z) != Mix(z) {
+			t.Fatalf("Mix(%#x) not deterministic", z)
+		}
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping any single input bit should flip many output bits: a
+	// weak mixer here would correlate "adjacent" users' noise streams.
+	for bit := 0; bit < 64; bit++ {
+		z := uint64(0x0123456789abcdef)
+		d := bits.OnesCount64(Mix(z) ^ Mix(z^1<<bit))
+		if d < 16 || d > 48 {
+			t.Errorf("flipping bit %d changed %d output bits, want ~32", bit, d)
+		}
+	}
+}
+
+// TestPerSeedUserIndependence exercises the derivation pattern the
+// mechanisms use (Mix(seed*Gamma ^ fnv64a(user))): distinct users and
+// distinct seeds must yield distinct derived seeds — collisions would
+// correlate the noise of different users or different deployments.
+func TestPerSeedUserIndependence(t *testing.T) {
+	derive := func(seed uint64, user string) uint64 {
+		h := fnv.New64a()
+		h.Write([]byte(user))
+		return Mix(seed*Gamma ^ h.Sum64())
+	}
+	seen := make(map[uint64]string)
+	for seed := uint64(1); seed <= 8; seed++ {
+		for i := 0; i < 500; i++ {
+			user := fmt.Sprintf("user%03d", i)
+			key := derive(seed, user)
+			id := fmt.Sprintf("%s@%d", user, seed)
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("derived seed collision: %s and %s both map to %#x", prev, id, key)
+			}
+			seen[key] = id
+		}
+	}
+}
+
+// TestMixBijectiveSample spot-checks injectivity (Mix is a bijection on
+// uint64): no collisions over a dense input range.
+func TestMixBijectiveSample(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for z := uint64(0); z < 1<<16; z++ {
+		v := Mix(z)
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("Mix(%d) == Mix(%d) == %#x", z, prev, v)
+		}
+		seen[v] = z
+	}
+}

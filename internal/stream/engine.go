@@ -1,0 +1,419 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobipriv/internal/par"
+)
+
+// ErrClosed reports a Push or Flush against an engine that has been
+// closed.
+var ErrClosed = errors.New("stream: engine closed")
+
+// Sink receives batches of anonymized output. It is called from shard
+// goroutines concurrently and must be safe for concurrent use; it
+// should return quickly, as a slow sink stalls its shard (that stall is
+// the engine's backpressure propagating downstream). The batch is
+// invalidated when the call returns — the shard reuses its backing
+// array — so a sink that retains it (channel hand-off, async writer)
+// must copy first.
+type Sink func(batch []Update)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of per-user state partitions, one goroutine
+	// each; a user is pinned to hash(user) mod Shards, so per-user
+	// ordering is preserved without locks. Zero or negative means 4.
+	Shards int
+	// QueueDepth is the per-shard queue capacity in batches. When a
+	// shard's queue is full, Push blocks — that is the backpressure
+	// bounding engine memory. Zero or negative means 64.
+	QueueDepth int
+	// IdleTTL evicts a user whose last update is older than this: the
+	// mechanism is flushed (emitting what it withheld) and its state
+	// freed, so abandoned streams do not leak memory. Zero disables
+	// eviction.
+	IdleTTL time.Duration
+	// SweepEvery is the eviction sweep period; zero means IdleTTL/4
+	// (clamped to at least 10ms).
+	SweepEvery time.Duration
+	// Sink receives the anonymized output. Nil discards it (benchmarks).
+	Sink Sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.IdleTTL / 4
+	}
+	if c.SweepEvery < 10*time.Millisecond {
+		c.SweepEvery = 10 * time.Millisecond
+	}
+	if c.Sink == nil {
+		c.Sink = func([]Update) {}
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of engine activity.
+type Stats struct {
+	// Shards holds one entry per shard, in shard order.
+	Shards []ShardStats
+	// In, Out and Evicted aggregate the per-shard counters.
+	In, Out, Evicted uint64
+	// ActiveUsers is the number of users currently holding state.
+	ActiveUsers int
+}
+
+// ShardStats describes one shard. The JSON tags are the wire format of
+// mobiserve's /stats endpoint.
+type ShardStats struct {
+	// QueueDepth is the number of batches waiting in the shard queue.
+	QueueDepth int `json:"queue_depth"`
+	// Users is the number of users with live state on this shard.
+	Users int `json:"users"`
+	// In and Out count points received and published by this shard.
+	In  uint64 `json:"points_in"`
+	Out uint64 `json:"points_out"`
+	// Evicted counts users flushed out by the idle TTL.
+	Evicted uint64 `json:"evicted_users"`
+}
+
+// Engine partitions per-user streaming state across shards and applies
+// a Mechanism (built per user by the Factory) to an unbounded stream of
+// updates with bounded memory. Construct with NewEngine, start the
+// shard goroutines with Run, feed with Push, and stop with Close.
+type Engine struct {
+	cfg     Config
+	factory Factory
+	shards  []*shard
+	stopped chan struct{} // closed when Run returns; unblocks stuck senders
+
+	mu      sync.RWMutex // guards closed vs. in-flight channel sends
+	closed  bool
+	started atomic.Bool
+}
+
+type shardMsg struct {
+	batch []Update
+	flush chan<- struct{} // non-nil: flush+evict all users, then signal
+}
+
+type shard struct {
+	in      chan shardMsg
+	users   map[string]*userState
+	factory Factory
+	sink    Sink
+	ttl     time.Duration
+	sweep   time.Duration
+	nIn     atomic.Uint64
+	nOut    atomic.Uint64
+	nEvict  atomic.Uint64
+	nUsers  atomic.Int64
+	scratch []Update // reused output batch
+}
+
+type userState struct {
+	mech     Mechanism
+	outUser  string
+	lastSeen time.Time
+}
+
+// NewEngine returns an engine applying factory-built mechanisms to the
+// stream. Run must be called before updates flow.
+func NewEngine(cfg Config, factory Factory) (*Engine, error) {
+	if factory == nil {
+		return nil, errors.New("stream: nil factory")
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		factory: factory,
+		shards:  make([]*shard, cfg.Shards),
+		stopped: make(chan struct{}),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			in:      make(chan shardMsg, cfg.QueueDepth),
+			users:   make(map[string]*userState),
+			factory: factory,
+			sink:    cfg.Sink,
+			ttl:     cfg.IdleTTL,
+			sweep:   cfg.SweepEvery,
+		}
+	}
+	return e, nil
+}
+
+// Run drives the shard goroutines (one per shard, fanned out through
+// the shared par substrate) and blocks until Close is called or ctx is
+// cancelled. It must be called exactly once. Cancelling ctx is an
+// ABORT: queued batches and withheld per-user state are dropped without
+// flushing, and in-flight Push/Flush calls fail with ErrClosed — use
+// Close for a graceful drain.
+func (e *Engine) Run(ctx context.Context) error {
+	if !e.started.CompareAndSwap(false, true) {
+		return errors.New("stream: engine already running")
+	}
+	defer close(e.stopped)
+	n := len(e.shards)
+	return par.Map(par.WithWorkers(ctx, n), n, func(i int) error {
+		return e.shards[i].run(ctx)
+	})
+}
+
+// Push routes the updates to their shards, blocking while shard queues
+// are full (backpressure) and honoring ctx cancellation. Updates of one
+// Push call that share a user keep their relative order. The slice is
+// copied before enqueueing, so callers may reuse it immediately.
+func (e *Engine) Push(ctx context.Context, updates ...Update) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if len(e.shards) == 1 {
+		batch := make([]Update, len(updates))
+		copy(batch, updates)
+		return e.send(ctx, e.shards[0], shardMsg{batch: batch})
+	}
+	// Partition into one backing array by counting-sort on the shard
+	// index (two cheap hash passes, a fixed handful of allocations per
+	// call — cheaper than a map of growing slices on the ingest path).
+	// Input order is preserved within each shard, and the engine owns
+	// the backing, so callers may reuse their slice immediately.
+	n := len(e.shards)
+	counts := make([]int, n)
+	for i := range updates {
+		counts[e.shardOf(updates[i].User)]++
+	}
+	backing := make([]Update, len(updates))
+	starts := make([]int, n)
+	for i := 1; i < n; i++ {
+		starts[i] = starts[i-1] + counts[i-1]
+	}
+	cursors := make([]int, n)
+	copy(cursors, starts)
+	for _, u := range updates {
+		i := e.shardOf(u.User)
+		backing[cursors[i]] = u
+		cursors[i]++
+	}
+	for i := 0; i < n; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		if err := e.send(ctx, e.shards[i], shardMsg{batch: backing[starts[i] : starts[i]+counts[i]]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes and evicts every user on every shard, waiting until all
+// withheld output has reached the sink. The engine stays usable: the
+// next update of a user starts a fresh trace.
+func (e *Engine) Flush(ctx context.Context) error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	dones := make([]chan struct{}, len(e.shards))
+	var err error
+	for i, s := range e.shards {
+		dones[i] = make(chan struct{})
+		if err = e.send(ctx, s, shardMsg{flush: dones[i]}); err != nil {
+			dones[i] = nil
+			break
+		}
+	}
+	e.mu.RUnlock()
+	for _, done := range dones {
+		if done == nil {
+			break
+		}
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-e.stopped:
+			return ErrClosed
+		}
+	}
+	return err
+}
+
+// Close flushes every user, stops the shard goroutines and makes
+// further Push/Flush calls fail with ErrClosed. Run returns once the
+// shards have drained.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	return nil
+}
+
+// Stats snapshots the per-shard counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(e.shards))}
+	for i, s := range e.shards {
+		ss := ShardStats{
+			QueueDepth: len(s.in),
+			Users:      int(s.nUsers.Load()),
+			In:         s.nIn.Load(),
+			Out:        s.nOut.Load(),
+			Evicted:    s.nEvict.Load(),
+		}
+		st.Shards[i] = ss
+		st.In += ss.In
+		st.Out += ss.Out
+		st.Evicted += ss.Evicted
+		st.ActiveUsers += ss.Users
+	}
+	return st
+}
+
+// shardOf is inline FNV-1a (identical to hash/fnv) so routing a point
+// costs no allocation on the ingest hot path.
+func (e *Engine) shardOf(user string) int {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(user); i++ {
+		h ^= uint64(user[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(e.shards)))
+}
+
+// send enqueues one message, blocking until the shard accepts it. The
+// stopped channel keeps a sender from blocking forever (holding the
+// read lock and deadlocking Close) when Run's context was cancelled and
+// the shards died without draining their queues.
+func (e *Engine) send(ctx context.Context, s *shard, msg shardMsg) error {
+	select {
+	case s.in <- msg:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.stopped:
+		return ErrClosed
+	}
+}
+
+// run is the shard loop: apply batches in arrival order, sweep idle
+// users, and on shutdown flush whatever state remains.
+func (s *shard) run(ctx context.Context) error {
+	var tick <-chan time.Time
+	if s.ttl > 0 {
+		t := time.NewTicker(s.sweep)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case msg, ok := <-s.in:
+			if !ok {
+				s.flushAll()
+				return nil
+			}
+			if msg.flush != nil {
+				s.flushAll()
+				close(msg.flush)
+				continue
+			}
+			s.apply(msg.batch)
+		case now := <-tick:
+			s.evictIdle(now)
+		}
+	}
+}
+
+// apply feeds one batch through the per-user mechanisms and emits the
+// published points as one sink batch.
+func (s *shard) apply(batch []Update) {
+	out := s.scratch[:0]
+	now := time.Now()
+	for _, u := range batch {
+		st := s.users[u.User]
+		if st == nil {
+			st = &userState{mech: s.factory(u.User), outUser: u.User}
+			if r, ok := st.mech.(Relabeler); ok {
+				st.outUser = r.OutUser(u.User)
+			}
+			s.users[u.User] = st
+			s.nUsers.Add(1)
+		}
+		st.lastSeen = now
+		for _, p := range st.mech.Push(u.Point) {
+			out = append(out, Update{User: st.outUser, Point: p})
+		}
+	}
+	s.nIn.Add(uint64(len(batch)))
+	s.emit(out)
+	s.scratch = out[:0]
+}
+
+func (s *shard) emit(out []Update) {
+	if len(out) == 0 {
+		return
+	}
+	s.nOut.Add(uint64(len(out)))
+	s.sink(out)
+}
+
+func (s *shard) flushAll() {
+	var out []Update
+	for user, st := range s.users {
+		for _, p := range st.mech.Flush() {
+			out = append(out, Update{User: st.outUser, Point: p})
+		}
+		delete(s.users, user)
+		s.nUsers.Add(-1)
+	}
+	s.emit(out)
+}
+
+func (s *shard) evictIdle(now time.Time) {
+	var out []Update
+	for user, st := range s.users {
+		if now.Sub(st.lastSeen) < s.ttl {
+			continue
+		}
+		for _, p := range st.mech.Flush() {
+			out = append(out, Update{User: st.outUser, Point: p})
+		}
+		delete(s.users, user)
+		s.nUsers.Add(-1)
+		s.nEvict.Add(1)
+	}
+	s.emit(out)
+}
+
+// String renders a compact one-line summary, handy in logs.
+func (e *Engine) String() string {
+	st := e.Stats()
+	return fmt.Sprintf("stream.Engine{shards=%d users=%d in=%d out=%d evicted=%d}",
+		len(e.shards), st.ActiveUsers, st.In, st.Out, st.Evicted)
+}

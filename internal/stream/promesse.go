@@ -1,0 +1,164 @@
+package stream
+
+import (
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/trace"
+)
+
+// Promesse configures the windowed online speed smoother and acts as
+// the factory for its per-user state.
+//
+// Spatial behaviour matches the batch mechanism (internal/core) with
+// trimming disabled: incoming points closer than Epsilon to the last
+// kept point are collapsed (stationary GPS jitter would otherwise
+// inflate the path at a stop), and the kept path is resampled at a
+// uniform Epsilon spacing, every output point lying on it. The first
+// and last raw points are always published, so endpoints are preserved
+// (a serving system cannot trim ends it has not seen yet; callers who
+// need endpoint hiding drop the head and tail of each flushed trace).
+//
+// Temporal behaviour is where online necessarily differs from the
+// paper: batch Promesse spreads timestamps uniformly over the whole
+// trace, which needs the complete trace. Here each sample is held back
+// until the user has moved Window meters past it, and publication
+// timestamps are re-uniformized over the held-back samples: the stop
+// time accumulated inside the window is spread evenly across it, so the
+// published stream approaches constant speed over any window-sized
+// stretch while latency and memory stay bounded by Window/Epsilon
+// samples per user.
+type Promesse struct {
+	// Epsilon is the output spacing in meters. Must be positive.
+	Epsilon float64
+	// Window is the smoothing horizon in meters of path; samples are
+	// withheld until the user has travelled Window meters past them.
+	// Zero or negative means 10·Epsilon.
+	Window float64
+}
+
+func (c Promesse) window() float64 {
+	if c.Window <= 0 {
+		return 10 * c.Epsilon
+	}
+	return c.Window
+}
+
+// New returns the streaming state for one user. It panics if Epsilon is
+// not positive (registration-time misconfiguration, like Register).
+func (c Promesse) New(user string) Mechanism {
+	if c.Epsilon <= 0 {
+		panic("stream: Promesse.Epsilon must be positive")
+	}
+	return &promesseState{eps: c.Epsilon, window: c.window()}
+}
+
+// sample is one resampled point awaiting release: its position, the
+// instant the user actually passed it, and its path coordinate.
+type sample struct {
+	p trace.Point
+	s float64
+}
+
+type promesseState struct {
+	eps, window float64
+
+	started    bool
+	lastKept   trace.Point // last point incorporated into the path
+	pending    trace.Point // last raw point seen, < eps from lastKept
+	hasPending bool
+
+	resid   float64 // path distance from the newest sample to lastKept
+	procLen float64 // total kept-path length processed so far
+
+	queue   []sample // samples not yet released
+	lastPub time.Time
+	hasPub  bool
+}
+
+// Push implements Mechanism.
+func (st *promesseState) Push(p trace.Point) []trace.Point {
+	if !st.started {
+		st.started = true
+		st.lastKept = p
+		st.queue = append(st.queue, sample{p: p, s: 0})
+		return st.release(false)
+	}
+	// Collapse stationary jitter exactly like the batch simplify step:
+	// only points at least eps from the last kept point extend the path.
+	if geo.FastDistance(st.lastKept.Point, p.Point) < st.eps {
+		st.pending, st.hasPending = p, true
+		return nil
+	}
+	st.advance(st.lastKept, p)
+	st.lastKept, st.hasPending = p, false
+	return st.release(false)
+}
+
+// Flush implements Mechanism: the trace ends here, so the pending tail
+// joins the path, the exact final raw point is published, and every
+// withheld sample is released. The state resets for a fresh trace.
+func (st *promesseState) Flush() []trace.Point {
+	if !st.started {
+		return nil
+	}
+	if st.hasPending {
+		st.advance(st.lastKept, st.pending)
+		st.lastKept, st.hasPending = st.pending, false
+	}
+	if st.resid > 0 {
+		// The final raw point is published verbatim (position and
+		// passage time), preserving the trace's end.
+		st.queue = append(st.queue, sample{p: st.lastKept, s: st.procLen})
+	}
+	out := st.release(true)
+	*st = promesseState{eps: st.eps, window: st.window}
+	return out
+}
+
+// advance extends the kept path with the segment a→b, generating
+// samples every eps meters of path. Sample passage times are
+// interpolated linearly in distance along the segment.
+func (st *promesseState) advance(a, b trace.Point) {
+	d := geo.Distance(a.Point, b.Point)
+	for st.resid+d >= st.eps {
+		need := st.eps - st.resid
+		f := need / d
+		pos := geo.Interpolate(a.Point, b.Point, f)
+		t := a.Time.Add(time.Duration(float64(b.Time.Sub(a.Time)) * f))
+		st.procLen += need
+		st.queue = append(st.queue, sample{p: trace.Point{Point: pos, Time: t}, s: st.procLen})
+		a = trace.Point{Point: pos, Time: t}
+		d -= need
+		st.resid = 0
+	}
+	st.resid += d
+	st.procLen += d
+}
+
+// release pops every sample the path has moved Window meters past (all
+// of them when draining), assigning publication timestamps that spread
+// the window's time budget uniformly over the withheld samples: each
+// released point gets lastPub + (T_newest − lastPub)/m, where m counts
+// the samples still queued. Times are strictly increasing and the final
+// drained sample publishes at exactly its passage time.
+func (st *promesseState) release(all bool) []trace.Point {
+	var out []trace.Point
+	for len(st.queue) > 0 && (all || st.procLen-st.queue[0].s >= st.window) {
+		m := len(st.queue)
+		newest := st.queue[m-1].p.Time
+		var pub time.Time
+		if !st.hasPub {
+			pub = st.queue[0].p.Time // trace start: exact first instant
+		} else {
+			pub = st.lastPub.Add(time.Duration(float64(newest.Sub(st.lastPub)) / float64(m)))
+			if !pub.After(st.lastPub) {
+				pub = st.lastPub.Add(time.Nanosecond)
+			}
+		}
+		out = append(out, trace.Point{Point: st.queue[0].p.Point, Time: pub})
+		st.lastPub, st.hasPub = pub, true
+		st.queue = st.queue[1:]
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mobipriv/internal/rng"
+	"mobipriv/internal/trace"
+)
+
+// Pseudonymize configures the online pseudonymizer and acts as the
+// factory for its per-user state: points pass through untouched, but
+// the stream is published under a deterministic per-(Seed, user)
+// pseudonym.
+//
+// Unlike the batch Pseudonymize stage, which numbers a KNOWN user
+// population through a seeded permutation, a streaming system never
+// sees the full population, so the pseudonym is derived by hashing
+// (Seed, user) through the shared splitmix64 finalizer: stable across
+// restarts and shard layouts, with a 48-bit label space making
+// collisions negligible at realistic populations.
+type Pseudonymize struct {
+	// Prefix names output identities Prefix<12 hex digits>. Empty keeps
+	// the original labels (the stage becomes a no-op).
+	Prefix string
+	// Seed decorrelates pseudonyms between deployments.
+	Seed int64
+}
+
+// New returns the streaming state for one user.
+func (c Pseudonymize) New(user string) Mechanism {
+	return pseudoState{label: pseudoLabel(c.Prefix, c.Seed, user)}
+}
+
+func pseudoLabel(prefix string, seed int64, user string) string {
+	if prefix == "" {
+		return user
+	}
+	h := fnv.New64a()
+	h.Write([]byte(user))
+	v := rng.Mix(uint64(seed)*rng.Gamma ^ h.Sum64())
+	return fmt.Sprintf("%s%012x", prefix, v&0xffffffffffff)
+}
+
+type pseudoState struct {
+	label string
+}
+
+func (st pseudoState) Push(p trace.Point) []trace.Point { return []trace.Point{p} }
+func (st pseudoState) Flush() []trace.Point             { return nil }
+func (st pseudoState) OutUser(in string) string         { return st.label }

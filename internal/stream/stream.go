@@ -1,0 +1,136 @@
+// Package stream is the online counterpart of the batch anonymization
+// pipeline: it applies mechanisms to unbounded streams of location
+// updates with bounded per-user memory, which is what a serving system
+// needs when traces arrive live instead of as recorded datasets.
+//
+// The unit of work is the per-user Mechanism: a small state machine fed
+// one observation at a time (Push) that emits anonymized points as soon
+// as they are safe to publish, and drains its remaining state on Flush
+// (end of trace, idle eviction, shutdown). Adapters exist for the
+// repository's mechanisms:
+//
+//   - Promesse: windowed speed smoothing (see promesse.go). The batch
+//     algorithm of the paper redistributes timestamps uniformly over the
+//     WHOLE trace, which requires the complete trace and hence cannot be
+//     computed online. The windowed adapter keeps the spatial guarantee
+//     exactly — every output point lies on the input path, consecutive
+//     outputs are a uniform ε apart, and both endpoints are preserved —
+//     and approximates the temporal one: publication timestamps are
+//     re-uniformized over a sliding window of Window meters of path, so
+//     a stop shorter than the window's time span is smeared across it,
+//     while a stop longer than that still shows (the price of bounded
+//     memory and latency; the batch pipeline remains the gold standard
+//     for recorded data).
+//   - GeoI: per-point planar Laplace perturbation. The mechanism is
+//     memoryless per point, so the streaming output is byte-identical
+//     to the batch baseline for the same (seed, user) derivation; the
+//     GeoI.Factory additionally gives each new lifetime of a user (after
+//     a flush or idle eviction) an independent noise stream so sessions
+//     cannot be differenced against each other.
+//   - Pseudonymize: relabels the stream's user identifier with a
+//     deterministic per-(seed, user) pseudonym.
+//
+// Engine (engine.go) scales this to many users: it shards per-user
+// state by hash(user), runs one goroutine per shard, applies
+// backpressure through bounded shard queues, and bounds memory by
+// flushing and evicting users that have been idle longer than a TTL.
+package stream
+
+import (
+	"mobipriv/internal/trace"
+)
+
+// Update is one location observation flowing through the engine: the
+// user it belongs to plus the timestamped position.
+type Update struct {
+	User string
+	trace.Point
+}
+
+// Mechanism is the online counterpart of mobipriv.Mechanism, holding
+// the streaming state of ONE user. Push feeds one observation (in
+// non-decreasing time order) and returns the points that became safe to
+// publish; Flush ends the trace, draining whatever the mechanism was
+// still holding back. After Flush the mechanism is reset and may be
+// reused for a fresh trace of the same user.
+//
+// Implementations need not be safe for concurrent use: the engine
+// confines each user to a single shard goroutine.
+type Mechanism interface {
+	Push(p trace.Point) []trace.Point
+	Flush() []trace.Point
+}
+
+// Factory creates the per-user streaming state; the engine calls it
+// once per (user, lifetime) when the first update of a user arrives.
+// Factories must be safe for concurrent use by multiple shards.
+type Factory func(user string) Mechanism
+
+// Relabeler is implemented by mechanisms that publish under a different
+// user identifier than the input one (pseudonymization). The engine
+// consults it once, when the user's state is created.
+type Relabeler interface {
+	OutUser(in string) string
+}
+
+// Chain composes mechanisms into one: every point emitted by stage i is
+// pushed through stage i+1, and Flush drains the stages front to back
+// so no point is lost in an intermediate buffer. If any stage relabels
+// the user, the chain does too (later stages win).
+func Chain(stages ...Mechanism) Mechanism {
+	return chain(stages)
+}
+
+type chain []Mechanism
+
+func (c chain) Push(p trace.Point) []trace.Point {
+	out := []trace.Point{p}
+	for _, st := range c {
+		var next []trace.Point
+		for _, q := range out {
+			next = append(next, st.Push(q)...)
+		}
+		out = next
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+func (c chain) Flush() []trace.Point {
+	var out []trace.Point
+	for _, st := range c {
+		// Points already in flight from earlier stages pass through
+		// this stage like regular pushes, then the stage drains.
+		var next []trace.Point
+		for _, q := range out {
+			next = append(next, st.Push(q)...)
+		}
+		next = append(next, st.Flush()...)
+		out = next
+	}
+	return out
+}
+
+func (c chain) OutUser(in string) string {
+	out := in
+	for _, st := range c {
+		if r, ok := st.(Relabeler); ok {
+			out = r.OutUser(out)
+		}
+	}
+	return out
+}
+
+// Passthrough is the identity streaming mechanism (the "raw" adapter):
+// every pushed point is published immediately, unchanged.
+type Passthrough struct{}
+
+// New implements the factory pattern shared by the adapters.
+func (Passthrough) New(user string) Mechanism { return passthrough{} }
+
+type passthrough struct{}
+
+func (passthrough) Push(p trace.Point) []trace.Point { return []trace.Point{p} }
+func (passthrough) Flush() []trace.Point             { return nil }

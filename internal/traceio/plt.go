@@ -2,6 +2,7 @@ package traceio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -11,18 +12,20 @@ import (
 	"mobipriv/internal/trace"
 )
 
-// ReadPLT parses one trajectory in the Geolife .plt format — the format
-// of the real dataset the paper's evaluation plan names. The file starts
-// with six header lines, followed by one observation per line:
+// DecodePLT reads one Geolife .plt trajectory record-at-a-time — the
+// format of the real dataset the paper's evaluation plan names —
+// invoking fn for every observation in file order without
+// materializing the trace. The file starts with six header lines,
+// followed by one observation per line:
 //
 //	lat,lng,0,altitude,days-since-1899,date,time
 //
 // e.g. "39.906631,116.385564,0,492,39745.1,2008-10-24,02:09:59".
 // The user identifier is supplied by the caller (Geolife encodes it in
-// the directory name).
-func ReadPLT(r io.Reader, user string) (*trace.Trace, error) {
+// the directory name) and passed through to fn. Timestamp deduplication
+// is the batch reader's concern; the raw records stream as recorded.
+func DecodePLT(r io.Reader, user string, fn RecordFunc) error {
 	sc := bufio.NewScanner(r)
-	var pts []trace.Point
 	line := 0
 	for sc.Scan() {
 		line++
@@ -35,24 +38,42 @@ func ReadPLT(r io.Reader, user string) (*trace.Trace, error) {
 		}
 		fields := strings.Split(text, ",")
 		if len(fields) != 7 {
-			return nil, fmt.Errorf("%w: plt line %d: want 7 fields, got %d", ErrBadRecord, line, len(fields))
+			return fmt.Errorf("%w: plt line %d: want 7 fields, got %d", ErrBadRecord, line, len(fields))
 		}
 		lat, err := strconv.ParseFloat(fields[0], 64)
 		if err != nil {
-			return nil, fmt.Errorf("%w: plt line %d: lat: %v", ErrBadRecord, line, err)
+			return fmt.Errorf("%w: plt line %d: lat: %v", ErrBadRecord, line, err)
 		}
 		lng, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
-			return nil, fmt.Errorf("%w: plt line %d: lng: %v", ErrBadRecord, line, err)
+			return fmt.Errorf("%w: plt line %d: lng: %v", ErrBadRecord, line, err)
 		}
 		ts, err := time.Parse("2006-01-02 15:04:05", fields[5]+" "+fields[6])
 		if err != nil {
-			return nil, fmt.Errorf("%w: plt line %d: time: %v", ErrBadRecord, line, err)
+			return fmt.Errorf("%w: plt line %d: time: %v", ErrBadRecord, line, err)
 		}
-		pts = append(pts, trace.P(lat, lng, ts.UTC()))
+		if err := fn(user, trace.P(lat, lng, ts.UTC())); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("read plt: %w", err)
+		return fmt.Errorf("read plt: %w", err)
+	}
+	return nil
+}
+
+// ReadPLT parses one Geolife .plt trajectory by batching the streaming
+// decoder's records into a validated trace.
+func ReadPLT(r io.Reader, user string) (*trace.Trace, error) {
+	var pts []trace.Point
+	if err := DecodePLT(r, user, func(_ string, p trace.Point) error {
+		pts = append(pts, p)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	// Geolife occasionally repeats timestamps; keep the first of each run
 	// so the trace invariant (strictly increasing) holds.

@@ -9,6 +9,12 @@
 //
 // All readers validate the resulting dataset (sorted times, coordinate
 // ranges, unique users) before returning it.
+//
+// Each text format also has a record-at-a-time streaming decoder
+// (DecodeCSV, DecodeJSONL, DecodePLT) that invokes a callback per
+// observation instead of materializing the dataset, so serving systems
+// (cmd/mobiserve) and replay tools can process inputs larger than
+// memory; the batch readers are thin accumulators over them.
 package traceio
 
 import (
@@ -28,6 +34,15 @@ import (
 // ErrBadRecord reports a malformed input row; it is wrapped with line
 // context.
 var ErrBadRecord = errors.New("traceio: bad record")
+
+// ErrStop, returned by a Decode* callback, stops decoding early without
+// error — the streaming analogue of breaking out of a loop.
+var ErrStop = errors.New("traceio: stop decoding")
+
+// RecordFunc receives one observation at a time from the streaming
+// decoders. Returning ErrStop ends decoding successfully; any other
+// error aborts it.
+type RecordFunc func(user string, p trace.Point) error
 
 // csvHeader is the canonical header written by WriteCSV.
 var csvHeader = []string{"user", "time", "lat", "lng"}
@@ -56,21 +71,21 @@ func WriteCSV(w io.Writer, d *trace.Dataset) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a dataset from CSV. A header row (exactly the canonical
-// column names) is skipped if present. Rows may appear in any order;
-// observations are grouped by user and time-sorted.
-func ReadCSV(r io.Reader) (*trace.Dataset, error) {
+// DecodeCSV reads CSV record-at-a-time, invoking fn for every
+// observation in file order without materializing the dataset — the
+// entry point for replaying or ingesting files larger than memory. A
+// header row (exactly the canonical column names) is skipped.
+func DecodeCSV(r io.Reader, fn RecordFunc) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 4
-	byUser := make(map[string][]trace.Point)
 	line := 0
 	for {
 		rec, err := cr.Read()
 		if errors.Is(err, io.EOF) {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("read csv: %w", err)
+			return fmt.Errorf("read csv: %w", err)
 		}
 		line++
 		if line == 1 && isHeader(rec) {
@@ -79,17 +94,35 @@ func ReadCSV(r io.Reader) (*trace.Dataset, error) {
 		user := rec[0]
 		ts, err := parseTime(rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+			return fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
 		}
 		lat, err := strconv.ParseFloat(rec[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("%w: line %d: lat: %v", ErrBadRecord, line, err)
+			return fmt.Errorf("%w: line %d: lat: %v", ErrBadRecord, line, err)
 		}
 		lng, err := strconv.ParseFloat(rec[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("%w: line %d: lng: %v", ErrBadRecord, line, err)
+			return fmt.Errorf("%w: line %d: lng: %v", ErrBadRecord, line, err)
 		}
-		byUser[user] = append(byUser[user], trace.P(lat, lng, ts))
+		if err := fn(user, trace.P(lat, lng, ts)); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// ReadCSV parses a dataset from CSV, batching the streaming decoder's
+// records. Rows may appear in any order; observations are grouped by
+// user and time-sorted.
+func ReadCSV(r io.Reader) (*trace.Dataset, error) {
+	byUser := make(map[string][]trace.Point)
+	if err := DecodeCSV(r, func(user string, p trace.Point) error {
+		byUser[user] = append(byUser[user], p)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return buildDataset(byUser)
 }
@@ -156,23 +189,55 @@ func WriteJSONL(w io.Writer, d *trace.Dataset) error {
 	return bw.Flush()
 }
 
-// ReadJSONL parses a dataset from JSONL input.
-func ReadJSONL(r io.Reader) (*trace.Dataset, error) {
+// DecodeJSONL reads JSONL record-at-a-time, invoking fn for every
+// observation in file order without materializing the dataset.
+func DecodeJSONL(r io.Reader, fn RecordFunc) error {
 	dec := json.NewDecoder(r)
-	byUser := make(map[string][]trace.Point)
 	line := 0
 	for {
 		var rec jsonlRecord
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
-				break
+				return nil
 			}
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line+1, err)
+			return fmt.Errorf("%w: line %d: %v", ErrBadRecord, line+1, err)
 		}
 		line++
-		byUser[rec.User] = append(byUser[rec.User], trace.P(rec.Lat, rec.Lng, rec.Time))
+		if err := fn(rec.User, trace.P(rec.Lat, rec.Lng, rec.Time)); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// ReadJSONL parses a dataset from JSONL input, batching the streaming
+// decoder's records.
+func ReadJSONL(r io.Reader) (*trace.Dataset, error) {
+	byUser := make(map[string][]trace.Point)
+	if err := DecodeJSONL(r, func(user string, p trace.Point) error {
+		byUser[user] = append(byUser[user], p)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return buildDataset(byUser)
+}
+
+// WriteJSONLRecord writes one observation as a single JSONL line — the
+// streaming counterpart of WriteJSONL, used by serving sinks.
+func WriteJSONLRecord(w io.Writer, user string, p trace.Point) error {
+	rec := jsonlRecord{User: user, Time: p.Time.UTC(), Lat: p.Lat, Lng: p.Lng}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("encode jsonl: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return nil
 }
 
 // geojson types cover the tiny subset needed for LineString export.

@@ -56,6 +56,10 @@ type named struct {
 
 func (n named) Name() string { return n.name }
 
+// Unwrap exposes the wrapped mechanism so capability probes (notably
+// AsStreaming) can see through the spec-normalization layer.
+func (n named) Unwrap() Mechanism { return n.Mechanism }
+
 // StageReport describes what one pipeline stage (or one single-stage
 // mechanism) did to the dataset flowing through it.
 type StageReport struct {

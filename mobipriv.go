@@ -2,7 +2,7 @@
 // library reproducing Primault, Ben Mokhtar & Brunie, "Privacy-preserving
 // Publication of Mobility Data with High Utility" (ICDCS 2015).
 //
-// The API has three pillars:
+// The API has four pillars:
 //
 //   - Mechanism: every anonymization — the paper's pipeline, the
 //     smoothing-only PROMESSE variant, and the geo-indistinguishability
@@ -21,6 +21,12 @@
 //     a Runner with WithWorkers(n) fans independent per-trace work
 //     across a pool with context cancellation, with output identical
 //     to the serial run.
+//   - Online streaming: mechanisms that can run over unbounded update
+//     streams expose a Streaming capability (AsStreaming,
+//     StreamingMechanisms) producing per-user Push/Flush adapters; the
+//     sharded engine in internal/stream and the mobiserve service
+//     apply them to live traffic with bounded per-user memory,
+//     matching the batch path on replay (byte-identical for geoi).
 //
 // Quickstart:
 //

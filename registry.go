@@ -77,6 +77,10 @@ func FromSpec(spec string) (Mechanism, error) {
 	f, ok := registry.factories[name]
 	registry.RUnlock()
 	if !ok {
+		if near := closestName(name, Mechanisms()); near != "" {
+			return nil, fmt.Errorf("%w %q (did you mean %q? available: %s)",
+				ErrUnknownMechanism, name, near, strings.Join(Mechanisms(), ", "))
+		}
 		return nil, fmt.Errorf("%w %q (available: %s)",
 			ErrUnknownMechanism, name, strings.Join(Mechanisms(), ", "))
 	}
@@ -128,6 +132,41 @@ func SplitSpecs(s string) []string {
 		out = append(out, el)
 	}
 	return out
+}
+
+// closestName returns the candidate within Levenshtein distance 2 of
+// name (ties broken by registry order, which is sorted), or "" if none
+// is close enough — the "did you mean" half of unknown-spec errors.
+func closestName(name string, candidates []string) string {
+	best, bestDist := "", 3
+	for _, c := range candidates {
+		if d := editDistance(strings.ToLower(name), c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the classic two-row Levenshtein distance; spec names
+// are short, so the quadratic cost is irrelevant.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 func validSpecName(name string) bool {

@@ -89,6 +89,28 @@ func TestFromSpecUnknownMechanismError(t *testing.T) {
 	}
 }
 
+func TestFromSpecUnknownMechanismSuggestion(t *testing.T) {
+	// A near-miss gets a "did you mean" pointing at the real name.
+	for spec, want := range map[string]string{
+		"promese":           `did you mean "promesse"`,
+		"Geoi(0.01)":        `did you mean "geoi"`,
+		"pipelines(seed=3)": `did you mean "pipeline"`,
+	} {
+		_, err := FromSpec(spec)
+		if !errors.Is(err, ErrUnknownMechanism) {
+			t.Fatalf("FromSpec(%q) = %v, want ErrUnknownMechanism", spec, err)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("FromSpec(%q) error %q missing %q", spec, err, want)
+		}
+	}
+	// A wild miss gets the plain listing, no bogus suggestion.
+	_, err := FromSpec("zzzzzzzz")
+	if strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("error %q suggests a name for a wild miss", err)
+	}
+}
+
 func TestFromSpecParameterDefaults(t *testing.T) {
 	// promesse defaults to the paper's operating point: epsilon 100.
 	d := commuterData(t, 6).Dataset

@@ -1,0 +1,108 @@
+package mobipriv
+
+import (
+	"mobipriv/internal/stream"
+)
+
+// StreamMechanism is the online counterpart of Mechanism, holding the
+// streaming state of ONE user: Push feeds one observation (in time
+// order) and returns the points that became safe to publish; Flush ends
+// the trace and drains whatever was withheld. It mirrors the internal
+// engine's contract, so values built here drive the sharded streaming
+// engine directly.
+type StreamMechanism interface {
+	Push(p Point) []Point
+	Flush() []Point
+}
+
+// StreamFactory builds the per-user streaming state; a serving system
+// calls it once per user when the user's first update arrives. It must
+// be safe for concurrent use.
+type StreamFactory func(user string) StreamMechanism
+
+// Streamer is the optional capability a Mechanism grows when it can run
+// online: Streaming returns the factory producing its per-user
+// streaming adapters. Resolve it with AsStreaming, which sees through
+// the wrappers FromSpec applies.
+type Streamer interface {
+	Mechanism
+	Streaming() StreamFactory
+}
+
+// AsStreaming reports whether the mechanism can run online and returns
+// its per-user factory. It unwraps the name-normalization layers added
+// by FromSpec, so specs like "geoi(0.01)" or "promesse(epsilon=200)"
+// resolve to their streaming adapters.
+func AsStreaming(m Mechanism) (StreamFactory, bool) {
+	for m != nil {
+		if s, ok := m.(Streamer); ok {
+			return s.Streaming(), true
+		}
+		u, ok := m.(interface{ Unwrap() Mechanism })
+		if !ok {
+			return nil, false
+		}
+		m = u.Unwrap()
+	}
+	return nil, false
+}
+
+// StreamingMechanisms returns the sorted names of registered mechanisms
+// whose default spec resolves to a streaming-capable mechanism.
+func StreamingMechanisms() []string {
+	var out []string
+	for _, name := range Mechanisms() {
+		m, err := FromSpec(name)
+		if err != nil {
+			continue
+		}
+		if _, ok := AsStreaming(m); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// WithStreaming attaches a streaming capability to a mechanism; used by
+// the built-in registrations and available to custom ones.
+func WithStreaming(m Mechanism, f StreamFactory) Mechanism {
+	return streamable{Mechanism: m, factory: f}
+}
+
+type streamable struct {
+	Mechanism
+	factory StreamFactory
+}
+
+func (s streamable) Streaming() StreamFactory { return s.factory }
+
+// The built-in streaming factories bridge to the internal adapters. The
+// internal stream.Mechanism interface is structurally identical to
+// StreamMechanism (Point aliases trace.Point), so the values cross the
+// boundary without wrapping.
+
+func streamRaw() StreamFactory {
+	c := stream.Passthrough{}
+	return func(user string) StreamMechanism { return c.New(user) }
+}
+
+func streamPromesse(epsilon, window float64) StreamFactory {
+	c := stream.Promesse{Epsilon: epsilon, Window: window}
+	return func(user string) StreamMechanism { return c.New(user) }
+}
+
+func streamGeoI(epsilon float64, seed int64) StreamFactory {
+	// Factory (not New) so a user who is flushed or evicted and comes
+	// back gets a fresh noise stream instead of replaying the first one.
+	f := stream.GeoI{Epsilon: epsilon, Seed: seed}.Factory()
+	return func(user string) StreamMechanism { return f(user) }
+}
+
+// StreamPseudonymize returns the online pseudonymizer factory: points
+// pass through unchanged while the stream is published under a
+// deterministic per-(seed, user) pseudonym. Compose it with another
+// streaming mechanism in the serving layer (cmd/mobiserve -pseudonym).
+func StreamPseudonymize(prefix string, seed int64) StreamFactory {
+	c := stream.Pseudonymize{Prefix: prefix, Seed: seed}
+	return func(user string) StreamMechanism { return c.New(user) }
+}
