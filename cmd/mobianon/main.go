@@ -11,6 +11,7 @@
 //	mobianon -in raw.csv -mechanism "geoi(0.01)"
 //	mobianon -in raw.csv -mechanism "w4m(k=4,delta=200)"
 //	mobianon -in raw.csv -workers 8                           # parallel per-trace work
+//	mobianon -in big.mstore -out anon.mstore                  # native store in and out
 package main
 
 import (
@@ -19,13 +20,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"mobipriv"
-	"mobipriv/internal/trace"
+	"mobipriv/internal/store"
 	"mobipriv/internal/traceio"
 )
 
@@ -39,8 +39,8 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mobianon", flag.ContinueOnError)
 	var (
-		in        = fs.String("in", "", "input dataset (.csv or .jsonl); required")
-		out       = fs.String("out", "", "output file (default stdout, csv)")
+		in        = fs.String("in", "", "input dataset (.csv/.jsonl/.plt, optionally .gz, or an .mstore store); required")
+		out       = fs.String("out", "", "output file (default stdout, csv; .jsonl/.geojson/.mstore by extension)")
 		mech      = fs.String("mechanism", "pipeline", "mechanism spec, e.g. pipeline, promesse(epsilon=200), geoi(0.01), w4m(k=4,delta=200), raw")
 		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for per-trace work")
 		epsilon   = fs.Float64("epsilon", 100, "smoothing spacing in meters (pipeline, promesse)")
@@ -60,7 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	d, err := readDataset(*in)
+	d, err := store.ReadDataset(context.Background(), *in)
 	if err != nil {
 		return err
 	}
@@ -102,6 +102,10 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", m.Name(), describeStage(rep))
 	}
 
+	if strings.HasSuffix(*out, ".mstore") {
+		// Overwrite matches the text outputs' os.Create truncation.
+		return store.WriteDataset(*out, published, store.Options{Overwrite: true})
+	}
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -136,18 +140,4 @@ func describeStage(rep mobipriv.StageReport) string {
 		parts = append(parts, "ok")
 	}
 	return fmt.Sprintf("%s: %s", rep.Stage, strings.Join(parts, ", "))
-}
-
-func readDataset(path string) (*trace.Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("open input: %w", err)
-	}
-	defer f.Close()
-	switch filepath.Ext(path) {
-	case ".jsonl":
-		return traceio.ReadJSONL(f)
-	default:
-		return traceio.ReadCSV(f)
-	}
 }

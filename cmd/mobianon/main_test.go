@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/traceio"
 )
@@ -84,6 +86,48 @@ func TestRunOutputFormats(t *testing.T) {
 				t.Fatalf("output file: %v bytes, err %v", len(data), err)
 			}
 		})
+	}
+}
+
+// TestRunStoreInOut anonymizes straight from a native store into a
+// native store: no text round-trip on either side.
+func TestRunStoreInOut(t *testing.T) {
+	in := writeInput(t)
+	dir := t.TempDir()
+	inStore := filepath.Join(dir, "in.mstore")
+	f, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := traceio.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteDataset(inStore, d, store.Options{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	outStore := filepath.Join(dir, "out.mstore")
+	if err := run([]string{"-in", inStore, "-out", outStore}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(outStore)
+	if err != nil {
+		t.Fatalf("output store unreadable: %v", err)
+	}
+	defer s.Close()
+	anon, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.Len() == 0 {
+		t.Fatal("output store is empty")
+	}
+	for _, u := range anon.Users() {
+		if !strings.HasPrefix(u, "p") {
+			t.Fatalf("user %q not pseudonymized", u)
+		}
 	}
 }
 

@@ -11,9 +11,18 @@
 // mobipriv registry; override it with -mechanisms, e.g.
 //
 //	mobibench -exp E2 -mechanisms "raw,promesse(epsilon=200),geoi(0.05)"
+//
+// With -dataset the synthetic workloads are replaced by a real dataset
+// (any traceio format or a native .mstore store); add -stays to supply
+// ground truth for the POI-attack experiments. Under -exp all,
+// experiments the dataset cannot drive (density sweeps; attacks
+// without -stays) are skipped with a note:
+//
+//	mobibench -exp E2 -dataset beijing.mstore -stays stays.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +32,8 @@ import (
 
 	"mobipriv"
 	"mobipriv/internal/experiment"
+	"mobipriv/internal/store"
+	"mobipriv/internal/synth"
 )
 
 func main() {
@@ -37,6 +48,8 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		exps      = fs.String("exp", "all", "comma-separated experiment ids (e.g. E2,E7) or 'all'")
 		scale     = fs.String("scale", "full", "workload scale: quick or full")
+		dataset   = fs.String("dataset", "", "run experiments over this dataset (.csv/.jsonl/.plt[.gz] or .mstore) instead of the synthetic workloads")
+		stays     = fs.String("stays", "", "ground-truth stays CSV for -dataset (mobigen format; enables the POI-attack experiments)")
 		lineup    = fs.String("mechanisms", "", "comma-separated mechanism specs overriding the standard lineup (default: "+strings.Join(experiment.Lineup(), ",")+")")
 		listMechs = fs.Bool("list-mechanisms", false, "print the registered mechanism names and exit")
 	)
@@ -53,6 +66,31 @@ func run(args []string, stdout io.Writer) error {
 		if err := experiment.SetLineup(mobipriv.SplitSpecs(*lineup)); err != nil {
 			return err
 		}
+	}
+	if *stays != "" && *dataset == "" {
+		return fmt.Errorf("-stays requires -dataset")
+	}
+	if *dataset != "" {
+		d, err := store.ReadDataset(context.Background(), *dataset)
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		g := &synth.Generated{Dataset: d}
+		note := "no ground-truth stays: POI-attack experiments are skipped under -exp all"
+		if *stays != "" {
+			f, err := os.Open(*stays)
+			if err != nil {
+				return fmt.Errorf("open stays: %w", err)
+			}
+			g.Stays, err = synth.ReadStays(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			note = fmt.Sprintf("%d ground-truth stays", len(g.Stays))
+		}
+		experiment.SetWorkload(g)
+		fmt.Fprintf(stdout, "running over %s: %s (%s)\n\n", *dataset, d, note)
 	}
 	var sc experiment.Scale
 	switch *scale {
@@ -81,6 +119,15 @@ func run(args []string, stdout io.Writer) error {
 		start := time.Now()
 		table, err := e.Run(sc)
 		if err != nil {
+			// Under -exp all, a dataset override skips the experiments
+			// the dataset cannot honestly drive — density sweeps
+			// (ErrWorkloadOverride) and, without -stays, anything that
+			// needs ground truth — instead of aborting the remaining
+			// tables; an explicitly requested experiment fails loudly.
+			if *dataset != "" && *exps == "all" {
+				fmt.Fprintf(stdout, "(%s skipped: %v)\n\n", e.ID, err)
+				continue
+			}
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if err := table.Render(stdout); err != nil {

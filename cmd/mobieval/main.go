@@ -15,25 +15,20 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime"
-	"strconv"
-	"time"
 
 	"mobipriv"
 	"mobipriv/internal/attack/poiattack"
-	"mobipriv/internal/geo"
 	"mobipriv/internal/metrics"
 	"mobipriv/internal/stats"
+	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
-	"mobipriv/internal/traceio"
 )
 
 func main() {
@@ -46,8 +41,8 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mobieval", flag.ContinueOnError)
 	var (
-		origPath  = fs.String("orig", "", "original dataset (.csv/.jsonl); required")
-		anonPath  = fs.String("anon", "", "anonymized dataset (.csv/.jsonl)")
+		origPath  = fs.String("orig", "", "original dataset (.csv/.jsonl/.plt[.gz] or .mstore); required")
+		anonPath  = fs.String("anon", "", "anonymized dataset (.csv/.jsonl/.plt[.gz] or .mstore)")
 		mechSpec  = fs.String("mechanism", "", "anonymize -orig on the fly with this registry spec instead of reading -anon")
 		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for on-the-fly anonymization")
 		staysPath = fs.String("stays", "", "ground-truth stays CSV from mobigen (enables the POI attack)")
@@ -63,7 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	if (*anonPath == "") == (*mechSpec == "") {
 		return errors.New("exactly one of -anon or -mechanism is required")
 	}
-	orig, err := readDataset(*origPath)
+	orig, err := store.ReadDataset(context.Background(), *origPath)
 	if err != nil {
 		return fmt.Errorf("original: %w", err)
 	}
@@ -80,7 +75,7 @@ func run(args []string, stdout io.Writer) error {
 		anon = res.Dataset
 		fmt.Fprintf(stdout, "anonymized on the fly with %s (%d users dropped)\n", m.Name(), len(res.DroppedUsers()))
 	} else {
-		anon, err = readDataset(*anonPath)
+		anon, err = store.ReadDataset(context.Background(), *anonPath)
 		if err != nil {
 			return fmt.Errorf("anonymized: %w", err)
 		}
@@ -146,18 +141,6 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func readDataset(path string) (*trace.Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("open: %w", err)
-	}
-	defer f.Close()
-	if filepath.Ext(path) == ".jsonl" {
-		return traceio.ReadJSONL(f)
-	}
-	return traceio.ReadCSV(f)
-}
-
 // readStays parses the stays CSV written by mobigen.
 func readStays(path string) ([]synth.Stay, error) {
 	f, err := os.Open(path)
@@ -165,41 +148,5 @@ func readStays(path string) ([]synth.Stay, error) {
 		return nil, fmt.Errorf("open stays: %w", err)
 	}
 	defer f.Close()
-	cr := csv.NewReader(f)
-	recs, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("read stays: %w", err)
-	}
-	var out []synth.Stay
-	for i, rec := range recs {
-		if i == 0 && len(rec) == 5 && rec[0] == "user" {
-			continue
-		}
-		if len(rec) != 5 {
-			return nil, fmt.Errorf("stays line %d: want 5 fields, got %d", i+1, len(rec))
-		}
-		lat, err := strconv.ParseFloat(rec[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("stays line %d: lat: %w", i+1, err)
-		}
-		lng, err := strconv.ParseFloat(rec[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("stays line %d: lng: %w", i+1, err)
-		}
-		enter, err := time.Parse(time.RFC3339, rec[3])
-		if err != nil {
-			return nil, fmt.Errorf("stays line %d: enter: %w", i+1, err)
-		}
-		leave, err := time.Parse(time.RFC3339, rec[4])
-		if err != nil {
-			return nil, fmt.Errorf("stays line %d: leave: %w", i+1, err)
-		}
-		out = append(out, synth.Stay{
-			User:   rec[0],
-			Center: geo.Point{Lat: lat, Lng: lng},
-			Enter:  enter,
-			Leave:  leave,
-		})
-	}
-	return out, nil
+	return synth.ReadStays(f)
 }

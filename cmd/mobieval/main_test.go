@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mobipriv"
+	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/traceio"
 )
@@ -95,6 +96,38 @@ func TestRunWithoutStays(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "POI retrieval attack") {
 		t.Error("attack section should require -stays")
+	}
+}
+
+// TestRunStoreInputs evaluates with both datasets supplied as native
+// stores instead of CSV.
+func TestRunStoreInputs(t *testing.T) {
+	raw, anon, _ := fixture(t)
+	dir := t.TempDir()
+	toStore := func(csvPath, name string) string {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		d, err := traceio.ReadCSV(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := store.WriteDataset(path, d, store.Options{Shards: 2}); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	rawStore := toStore(raw, "raw.mstore")
+	anonStore := toStore(anon, "anon.mstore")
+	var out bytes.Buffer
+	if err := run([]string{"-orig", rawStore, "-anon", anonStore}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "coverage") {
+		t.Fatalf("missing metrics output:\n%s", out.String())
 	}
 }
 

@@ -6,8 +6,11 @@
 //
 //	mobigen -model commuter -users 50 -seed 1 -out data.csv -stays stays.csv
 //	mobigen -model taxi -format geojson -out fleet.geojson
+//	mobigen -model rw -users 100000 -format store -out big.mstore
 //
-// Formats: csv (default), jsonl, geojson (write-only visualization).
+// Formats: csv (default), jsonl, geojson (write-only visualization),
+// store (the native sharded on-disk format of internal/store — no text
+// round-trip on the way to the batch tools).
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
 	"mobipriv/internal/traceio"
@@ -39,8 +43,9 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "generator seed")
 		days     = fs.Int("days", 0, "days to simulate (commuter model, 0 = default)")
 		sampling = fs.Duration("sampling", 0, "GPS sampling interval (0 = model default)")
-		out      = fs.String("out", "", "output file (default stdout)")
-		format   = fs.String("format", "csv", "output format: csv, jsonl, geojson")
+		out      = fs.String("out", "", "output file (default stdout; a directory for -format store)")
+		format   = fs.String("format", "csv", "output format: csv, jsonl, geojson, store")
+		shards   = fs.Int("shards", 8, "segment count for -format store")
 		staysOut = fs.String("stays", "", "also write ground-truth stays (CSV) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,17 +60,29 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return fmt.Errorf("create output: %w", err)
+	if *format == "store" {
+		// The store format writes a sharded directory, not a stream: a
+		// synthetic million-user dataset lands in the native format the
+		// batch tools scan, with no text round-trip.
+		if *out == "" {
+			return fmt.Errorf("-format store requires -out (a directory, conventionally .mstore)")
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := writeDataset(w, g.Dataset, *format); err != nil {
-		return err
+		if err := store.WriteDataset(*out, g.Dataset, store.Options{Shards: *shards, Overwrite: true}); err != nil {
+			return err
+		}
+	} else {
+		w := stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return fmt.Errorf("create output: %w", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := writeDataset(w, g.Dataset, *format); err != nil {
+			return err
+		}
 	}
 	if *staysOut != "" {
 		f, err := os.Create(*staysOut)
@@ -131,7 +148,7 @@ func writeDataset(w io.Writer, d *trace.Dataset, format string) error {
 	case "geojson":
 		return traceio.WriteGeoJSON(w, d)
 	default:
-		return fmt.Errorf("unknown format %q (want csv, jsonl or geojson)", format)
+		return fmt.Errorf("unknown format %q (want csv, jsonl, geojson or store)", format)
 	}
 }
 

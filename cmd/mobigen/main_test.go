@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"mobipriv/internal/store"
 	"mobipriv/internal/traceio"
 )
 
@@ -88,11 +90,37 @@ func TestRunFormats(t *testing.T) {
 	}
 }
 
+// TestRunStoreFormat generates straight into the native store format.
+func TestRunStoreFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen.mstore")
+	err := run([]string{"-model", "rw", "-users", "5", "-sampling", "5m", "-format", "store", "-out", path, "-shards", "3"}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatalf("generated store unreadable: %v", err)
+	}
+	defer s.Close()
+	man := s.Manifest()
+	if man.Users != 5 || man.Shards != 3 || man.Points == 0 {
+		t.Fatalf("manifest = %+v, want 5 users in 3 shards", man)
+	}
+	d, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("loaded %d users, want 5", d.Len())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-model", "spaceship"},
 		{"-format", "xml"},
 		{"-users", "-3"},
+		{"-format", "store"}, // store requires -out
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

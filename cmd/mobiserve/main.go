@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"mobipriv"
+	"mobipriv/internal/store"
 	"mobipriv/internal/stream"
 	"mobipriv/internal/trace"
 	"mobipriv/internal/traceio"
@@ -69,7 +70,7 @@ func run(args []string) error {
 		queue     = fs.Int("queue", 64, "per-shard queue depth in batches (backpressure bound)")
 		batch     = fs.Int("batch", 256, "ingest batch size in points")
 		ttl       = fs.Duration("ttl", 10*time.Minute, "evict users idle longer than this (0 disables)")
-		sink      = fs.String("sink", "", "append anonymized output to this NDJSON file")
+		sink      = fs.String("sink", "", "append anonymized output to this NDJSON file, or to a native store when the path ends in .mstore")
 		pseudonym = fs.String("pseudonym", "", "relabel output users with this pseudonym prefix")
 		seed      = fs.Int64("seed", 1, "pseudonym seed")
 		list      = fs.Bool("list-streaming", false, "list streaming-capable mechanisms and exit")
@@ -95,16 +96,41 @@ func run(args []string) error {
 		return err
 	}
 	if *sink != "" {
-		f, err := os.OpenFile(*sink, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return fmt.Errorf("open sink: %w", err)
+		if strings.HasSuffix(*sink, ".mstore") {
+			// Store sink: streamed output lands in the same sharded
+			// columnar format the batch tools read. The store becomes
+			// readable when the writer is finalized at shutdown.
+			sw, err := store.Create(*sink, store.Options{})
+			if err != nil {
+				return fmt.Errorf("create store sink: %w", err)
+			}
+			srv.sinkStore = sw
+		} else {
+			f, err := os.OpenFile(*sink, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("open sink: %w", err)
+			}
+			defer f.Close()
+			srv.sinkFile = f
 		}
-		defer f.Close()
-		srv.sinkFile = f
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if srv.sinkStore != nil {
+		go func() {
+			t := time.NewTicker(time.Minute)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					srv.flushStoreSink()
+				}
+			}
+		}()
+	}
 	// The engine runs on a background context and stops only through
 	// Close: stopping it with the signal context would kill the shard
 	// goroutines before they flush, dropping every withheld sample.
@@ -112,7 +138,15 @@ func run(args []string) error {
 	go func() { engDone <- srv.eng.Run(context.Background()) }()
 	shutdownEngine := func() error {
 		srv.eng.Close()
-		return <-engDone
+		err := <-engDone
+		// Finalize the store sink after the shards have flushed: Close
+		// writes the footers and manifest that make the store readable.
+		if srv.sinkStore != nil {
+			if cerr := srv.sinkStore.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
@@ -150,6 +184,7 @@ type server struct {
 
 	mu        sync.Mutex
 	sinkFile  io.Writer
+	sinkStore *store.Writer
 	subs      map[int]chan []stream.Update
 	nextSub   int
 	dropped   atomic.Uint64
@@ -202,6 +237,15 @@ func newServer(cfg serverConfig) (*server, error) {
 func (s *server) sink(batch []stream.Update) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sinkStore != nil {
+		for _, u := range batch {
+			if err := s.sinkStore.Append(u.User, u.Point); err != nil {
+				if s.sinkFails.Add(1) == 1 {
+					log.Printf("mobiserve: store sink append failed (counting further failures in /stats): %v", err)
+				}
+			}
+		}
+	}
 	if s.sinkFile != nil {
 		var buf bytes.Buffer
 		for _, u := range batch {
@@ -303,7 +347,25 @@ func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	s.flushStoreSink()
 	writeJSON(w, map[string]any{"flushed": true})
+}
+
+// flushStoreSink drains the store writer's per-user buffers to disk so
+// a long-running service's sink memory stays bounded; called after an
+// engine flush and periodically from run. The resulting fragmentation
+// is mobistore compact's job.
+func (s *server) flushStoreSink() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sinkStore == nil {
+		return
+	}
+	if err := s.sinkStore.Flush(); err != nil {
+		if s.sinkFails.Add(1) == 1 {
+			log.Printf("mobiserve: store sink flush failed (counting further failures in /stats): %v", err)
+		}
+	}
 }
 
 // handleOut streams anonymized output as NDJSON from the moment of

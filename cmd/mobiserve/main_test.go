@@ -7,11 +7,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"mobipriv"
+	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
 	"mobipriv/internal/traceio"
@@ -197,6 +199,60 @@ func TestServeOutStreams(t *testing.T) {
 	}
 	if seen != d.TotalPoints() {
 		t.Fatalf("streamed %d points, want %d", seen, d.TotalPoints())
+	}
+}
+
+// TestServeStoreSink streams through the engine into a native store
+// sink and checks the finalized store holds exactly the served points —
+// the loop that lets batch tools read what the service wrote.
+func TestServeStoreSink(t *testing.T) {
+	d := testDataset(t, 4)
+	srv, hs, stop := startServer(t, serverConfig{Spec: "raw", Shards: 3})
+	path := filepath.Join(t.TempDir(), "sink.mstore")
+	sw, err := store.Create(path, store.Options{Shards: 2, BlockPoints: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.sinkStore = sw // safe: set before any ingest
+
+	postNDJSON(t, hs.URL, d)
+	postFlush(t, hs.URL)
+	stop()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatalf("sink store unreadable: %v", err)
+	}
+	defer s.Close()
+	got, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.TotalPoints() != d.TotalPoints() {
+		t.Fatalf("sink store = %v, want %v", got, d)
+	}
+	// The raw mechanism passes points through, so the store holds the
+	// input up to the documented fixed-point quantization.
+	for _, wtr := range d.Traces() {
+		gtr := got.ByUser(wtr.User)
+		if gtr == nil || gtr.Len() != wtr.Len() {
+			t.Fatalf("user %s: stored %v, want %d points", wtr.User, gtr, wtr.Len())
+		}
+		for i := range wtr.Points {
+			g, w := gtr.Points[i], wtr.Points[i]
+			if g.Time.UnixMicro() != w.Time.UnixMicro() {
+				t.Fatalf("user %s point %d: time %v, want %v", wtr.User, i, g.Time, w.Time)
+			}
+			if diff := g.Lat - w.Lat; diff > 6e-8 || diff < -6e-8 {
+				t.Fatalf("user %s point %d: lat %v, want %v", wtr.User, i, g.Lat, w.Lat)
+			}
+			if diff := g.Lng - w.Lng; diff > 6e-8 || diff < -6e-8 {
+				t.Fatalf("user %s point %d: lng %v, want %v", wtr.User, i, g.Lng, w.Lng)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,278 @@
+// Command mobistore manages mobipriv's native on-disk dataset format
+// (internal/store): sharded, columnar ".mstore" directories that the
+// batch tools (mobianon, mobieval, mobibench), the generator (mobigen)
+// and the streaming service (mobiserve) all read and write.
+//
+// Subcommands:
+//
+//	mobistore build -in raw.csv[.gz] -out data.mstore [-shards 8] [-block 4096]
+//	mobistore info data.mstore [-blocks]
+//	mobistore cat data.mstore [-format csv|jsonl] [-users a,b] [-bbox minLat,minLng,maxLat,maxLng] [-from t] [-to t]
+//	mobistore compact -in frag.mstore -out tidy.mstore [-shards 8]
+//
+// build streams any traceio input (CSV, JSONL, Geolife PLT, each
+// optionally gzipped) into a store without materializing the dataset.
+// cat runs a pruned scan: blocks whose footer stats cannot match the
+// filters are skipped without being read. compact rewrites a store —
+// typically one grown by mobiserve's streaming sink — merging each
+// user's fragmented blocks into contiguous sorted runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/store"
+	"mobipriv/internal/trace"
+	"mobipriv/internal/traceio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobistore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mobistore <build|info|cat|compact> [flags] (see go doc mobipriv/cmd/mobistore)")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "build":
+		return runBuild(rest)
+	case "info":
+		return runInfo(rest, stdout)
+	case "cat":
+		return runCat(rest, stdout)
+	case "compact":
+		return runCompact(rest, stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want build, info, cat or compact)", cmd)
+	}
+}
+
+// runBuild streams a text dataset into a new store.
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("mobistore build", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input dataset (.csv/.jsonl/.plt, optionally .gz); required")
+		out    = fs.String("out", "", "output store directory (.mstore); required")
+		shards = fs.Int("shards", 8, "segment files (scan parallelism)")
+		block  = fs.Int("block", 4096, "max points per block (pruning granularity)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("build: -in and -out are required")
+	}
+	w, err := store.Create(*out, store.Options{Shards: *shards, BlockPoints: *block, Overwrite: true})
+	if err != nil {
+		return err
+	}
+	n := 0
+	if err := traceio.DecodeFile(*in, func(user string, p trace.Point) error {
+		n++
+		return w.Append(user, p)
+	}); err != nil {
+		return fmt.Errorf("build %s: %w", *in, err)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	// Stored points can be fewer than input records when timestamps
+	// collapse onto the same on-disk microsecond (e.g. raw PLT dumps).
+	fmt.Fprintf(os.Stderr, "built %s: %d records in from %s\n", *out, n, *in)
+	return nil
+}
+
+// runInfo prints the manifest and, with -blocks, the per-block footer
+// stats that pruned scans rely on.
+func runInfo(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mobistore info", flag.ContinueOnError)
+	blocks := fs.Bool("blocks", false, "also list per-block stats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: want exactly one store path")
+	}
+	s, err := store.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	man := s.Manifest()
+	fmt.Fprintf(stdout, "store:   %s (format %s v%d)\n", fs.Arg(0), man.Format, man.Version)
+	fmt.Fprintf(stdout, "users:   %d\n", man.Users)
+	fmt.Fprintf(stdout, "points:  %d\n", man.Points)
+	if from, to, ok := s.TimeSpan(); ok {
+		fmt.Fprintf(stdout, "time:    %s .. %s\n", from.Format(time.RFC3339), to.Format(time.RFC3339))
+		fmt.Fprintf(stdout, "bbox:    %s\n", s.Bounds())
+	}
+	fmt.Fprintf(stdout, "shards:  %d\n", man.Shards)
+	for _, si := range man.Segments {
+		fmt.Fprintf(stdout, "  %s: %d blocks, %d users, %d points\n", si.File, si.Blocks, si.Users, si.Points)
+	}
+	if *blocks {
+		return s.Scan(context.Background(), store.ScanOptions{}, func(user string, pts []trace.Point) error {
+			fmt.Fprintf(stdout, "  block user=%s points=%d %s..%s\n", user, len(pts),
+				pts[0].Time.Format(time.RFC3339), pts[len(pts)-1].Time.Format(time.RFC3339))
+			return nil
+		})
+	}
+	return nil
+}
+
+// runCat streams matching records out of a store as CSV or JSONL.
+func runCat(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mobistore cat", flag.ContinueOnError)
+	var (
+		format = fs.String("format", "csv", "output format: csv or jsonl")
+		users  = fs.String("users", "", "comma-separated user filter")
+		bbox   = fs.String("bbox", "", "minLat,minLng,maxLat,maxLng bounding-box filter")
+		from   = fs.String("from", "", "keep points at or after this time (RFC 3339 or Unix seconds)")
+		to     = fs.String("to", "", "keep points at or before this time (RFC 3339 or Unix seconds)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cat: want exactly one store path")
+	}
+	opts := store.ScanOptions{Workers: 1} // one worker: deterministic output order
+	if *users != "" {
+		opts.Users = strings.Split(*users, ",")
+	}
+	var err error
+	if opts.BBox, err = parseBBox(*bbox); err != nil {
+		return err
+	}
+	if opts.From, err = parseWhen(*from); err != nil {
+		return fmt.Errorf("cat: -from: %w", err)
+	}
+	if opts.To, err = parseWhen(*to); err != nil {
+		return fmt.Errorf("cat: -to: %w", err)
+	}
+
+	s, err := store.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	switch *format {
+	case "csv":
+		fmt.Fprintln(stdout, "user,time,lat,lng")
+		return s.Scan(context.Background(), opts, func(user string, pts []trace.Point) error {
+			for _, p := range pts {
+				fmt.Fprintf(stdout, "%s,%s,%s,%s\n", user,
+					p.Time.UTC().Format(time.RFC3339Nano),
+					strconv.FormatFloat(p.Lat, 'f', -1, 64),
+					strconv.FormatFloat(p.Lng, 'f', -1, 64))
+			}
+			return nil
+		})
+	case "jsonl":
+		return s.Scan(context.Background(), opts, func(user string, pts []trace.Point) error {
+			for _, p := range pts {
+				if err := traceio.WriteJSONLRecord(stdout, user, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	default:
+		return fmt.Errorf("cat: unknown format %q (want csv or jsonl)", *format)
+	}
+}
+
+// runCompact rewrites a store, merging each user's fragments.
+func runCompact(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mobistore compact", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input store; required")
+		out    = fs.String("out", "", "output store; required")
+		shards = fs.Int("shards", 0, "segment count of the output (0 keeps the input's)")
+		block  = fs.Int("block", 4096, "max points per block")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compact: -in and -out are required")
+	}
+	s, err := store.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if *shards == 0 {
+		*shards = s.Manifest().Shards
+	}
+	d, err := s.Load(context.Background())
+	if err != nil {
+		return err
+	}
+	if err := store.WriteDataset(*out, d, store.Options{Shards: *shards, BlockPoints: *block, Overwrite: true}); err != nil {
+		return err
+	}
+	inBlocks, outStore := 0, 0
+	for _, si := range s.Manifest().Segments {
+		inBlocks += si.Blocks
+	}
+	c, err := store.Open(*out)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for _, si := range c.Manifest().Segments {
+		outStore += si.Blocks
+	}
+	fmt.Fprintf(stdout, "compacted %s (%d blocks) -> %s (%d blocks), %d users, %d points\n",
+		*in, inBlocks, *out, outStore, d.Len(), d.TotalPoints())
+	return nil
+}
+
+// parseBBox parses "minLat,minLng,maxLat,maxLng".
+func parseBBox(s string) (geo.BBox, error) {
+	if s == "" {
+		return geo.BBox{}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geo.BBox{}, fmt.Errorf("cat: -bbox wants minLat,minLng,maxLat,maxLng")
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.BBox{}, fmt.Errorf("cat: -bbox component %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return geo.NewBBox(geo.Point{Lat: vals[0], Lng: vals[1]}, geo.Point{Lat: vals[2], Lng: vals[3]}), nil
+}
+
+// parseWhen parses an RFC 3339 timestamp or Unix seconds.
+func parseWhen(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if ts, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return ts, nil
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(secs, 0).UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("unparseable time %q", s)
+}

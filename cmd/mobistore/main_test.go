@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mobipriv/internal/store"
+	"mobipriv/internal/trace"
+	"mobipriv/internal/traceio"
+)
+
+// writeSampleCSV writes a small dataset and returns its path plus the
+// parsed dataset for comparison.
+func writeSampleCSV(t *testing.T) (string, *trace.Dataset) {
+	t.Helper()
+	base := time.Date(2025, 5, 1, 9, 0, 0, 0, time.UTC)
+	d := trace.MustNewDataset([]*trace.Trace{
+		trace.MustNew("ann", []trace.Point{
+			trace.P(45.1, 5.7, base),
+			trace.P(45.2, 5.8, base.Add(time.Minute)),
+			trace.P(45.3, 5.9, base.Add(2*time.Minute)),
+		}),
+		trace.MustNew("bob", []trace.Point{
+			trace.P(-12.5, 130.8, base.Add(time.Hour)),
+			trace.P(-12.6, 130.9, base.Add(time.Hour+time.Minute)),
+		}),
+	})
+	path := filepath.Join(t.TempDir(), "sample.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := traceio.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	return path, d
+}
+
+func TestBuildInfoCat(t *testing.T) {
+	csvPath, d := writeSampleCSV(t)
+	storePath := filepath.Join(t.TempDir(), "sample.mstore")
+
+	if err := run([]string{"build", "-in", csvPath, "-out", storePath, "-shards", "3"}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	var info bytes.Buffer
+	if err := run([]string{"info", storePath}, &info); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	out := info.String()
+	for _, want := range []string{"users:   2", "points:  5", "shards:  3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+
+	var cat bytes.Buffer
+	if err := run([]string{"cat", storePath}, &cat); err != nil {
+		t.Fatalf("cat: %v", err)
+	}
+	got, err := traceio.ReadCSV(bytes.NewReader(cat.Bytes()))
+	if err != nil {
+		t.Fatalf("cat output is not valid CSV: %v", err)
+	}
+	if got.Len() != d.Len() || got.TotalPoints() != d.TotalPoints() {
+		t.Fatalf("cat round trip = %v, want %v", got, d)
+	}
+}
+
+func TestCatFilters(t *testing.T) {
+	csvPath, _ := writeSampleCSV(t)
+	storePath := filepath.Join(t.TempDir(), "f.mstore")
+	if err := run([]string{"build", "-in", csvPath, "-out", storePath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var byUser bytes.Buffer
+	if err := run([]string{"cat", "-users", "bob", "-format", "jsonl", storePath}, &byUser); err != nil {
+		t.Fatalf("cat -users: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(byUser.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("cat -users bob: %d lines, want 2:\n%s", len(lines), byUser.String())
+	}
+	if strings.Contains(byUser.String(), "ann") {
+		t.Errorf("cat -users bob leaked ann:\n%s", byUser.String())
+	}
+
+	var byBox bytes.Buffer
+	if err := run([]string{"cat", "-bbox", "40,0,50,10", storePath}, &byBox); err != nil {
+		t.Fatalf("cat -bbox: %v", err)
+	}
+	if strings.Contains(byBox.String(), "bob") || !strings.Contains(byBox.String(), "ann") {
+		t.Errorf("cat -bbox kept wrong users:\n%s", byBox.String())
+	}
+
+	var byTime bytes.Buffer
+	if err := run([]string{"cat", "-from", "2025-05-01T10:00:00Z", storePath}, &byTime); err != nil {
+		t.Fatalf("cat -from: %v", err)
+	}
+	if strings.Contains(byTime.String(), "ann") {
+		t.Errorf("cat -from kept early points:\n%s", byTime.String())
+	}
+}
+
+func TestCompactMergesFragments(t *testing.T) {
+	// Build a fragmented store the way a streaming sink would: many
+	// tiny appends per user.
+	fragPath := filepath.Join(t.TempDir(), "frag.mstore")
+	w, err := store.Create(fragPath, store.Options{Shards: 2, BlockPoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2025, 5, 2, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 12; i++ {
+		if err := w.Append("u1", trace.P(10, 20+float64(i)/1e3, base.Add(time.Duration(i)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	outPath := filepath.Join(t.TempDir(), "tidy.mstore")
+	var out bytes.Buffer
+	if err := run([]string{"compact", "-in", fragPath, "-out", outPath}, &out); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	s, err := store.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blocks := 0
+	for _, si := range s.Manifest().Segments {
+		blocks += si.Blocks
+	}
+	if blocks != 1 {
+		t.Errorf("compacted store has %d blocks, want 1", blocks)
+	}
+	d, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalPoints() != 12 {
+		t.Errorf("compacted store holds %d points, want 12", d.TotalPoints())
+	}
+	if !strings.Contains(out.String(), "compacted") {
+		t.Errorf("missing summary line: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"explode"},
+		{"build", "-in", "missing.csv"},
+		{"build", "-out", "x.mstore"},
+		{"info"},
+		{"info", filepath.Join(os.TempDir(), "does-not-exist.mstore")},
+		{"cat"},
+		{"cat", "-bbox", "1,2,3", "x"},
+		{"cat", "-from", "yesterday-ish", "x"},
+		{"compact", "-in", "only"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestBuildFromGzip(t *testing.T) {
+	csvPath, d := writeSampleCSV(t)
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzPath := csvPath + ".gz"
+	f, err := os.Create(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	storePath := filepath.Join(t.TempDir(), "gz.mstore")
+	if err := run([]string{"build", "-in", gzPath, "-out", storePath}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("build from gz: %v", err)
+	}
+	s, err := store.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Manifest().Points != d.TotalPoints() {
+		t.Errorf("store holds %d points, want %d", s.Manifest().Points, d.TotalPoints())
+	}
+}

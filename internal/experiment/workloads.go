@@ -1,14 +1,39 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"mobipriv/internal/synth"
 )
 
+// workloadOverride, when set, replaces every synthetic workload: the
+// hook cmd/mobibench uses to run the evaluation over a real dataset
+// (CSV, JSONL, PLT or a native .mstore store).
+var workloadOverride *synth.Generated
+
+// ErrWorkloadOverride reports an experiment that cannot run over a
+// fixed dataset because it varies the workload itself (density sweeps);
+// labeling identical results with swept parameters would fabricate
+// data. Callers running "all" experiments may skip on it.
+var ErrWorkloadOverride = errors.New("experiment: workload override (-dataset) is incompatible with experiments that sweep the workload size")
+
+// Overridden reports whether a workload override is active, letting
+// multi-workload experiments collapse to a single labeled run instead
+// of repeating the same dataset under different workload names.
+func Overridden() bool { return workloadOverride != nil }
+
+// SetWorkload overrides all synthetic workloads with g for subsequent
+// experiment runs; nil restores the generators. Experiments that need
+// ground-truth stays degrade to empty scores when g.Stays is empty.
+func SetWorkload(g *synth.Generated) { workloadOverride = g }
+
 // commuterWorkload returns the Geolife-like workload at the given scale.
 func commuterWorkload(s Scale) (*synth.Generated, error) {
+	if workloadOverride != nil {
+		return workloadOverride, nil
+	}
 	cfg := synth.DefaultCommuterConfig()
 	switch s {
 	case Quick:
@@ -28,6 +53,9 @@ func commuterWorkload(s Scale) (*synth.Generated, error) {
 // commuterWorkloadN returns a commuter workload with an explicit user
 // count (density sweeps).
 func commuterWorkloadN(s Scale, users int) (*synth.Generated, error) {
+	if workloadOverride != nil {
+		return nil, ErrWorkloadOverride
+	}
 	cfg := synth.DefaultCommuterConfig()
 	cfg.Users = users
 	if s == Quick {
@@ -44,6 +72,9 @@ func commuterWorkloadN(s Scale, users int) (*synth.Generated, error) {
 
 // taxiWorkload returns the Cabspotting-like workload at the given scale.
 func taxiWorkload(s Scale) (*synth.Generated, error) {
+	if workloadOverride != nil {
+		return workloadOverride, nil
+	}
 	cfg := synth.DefaultTaxiConfig()
 	switch s {
 	case Quick:

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/trace"
+	"mobipriv/internal/traceio"
+)
+
+// benchDataset is the shared workload: the same synthetic dataset is
+// scanned from CSV (BenchmarkReadCSV) and from the store
+// (BenchmarkStoreScan), so the two throughput numbers are directly
+// comparable — the acceptance bar is >= 3x points/s for the store.
+func benchDataset(b *testing.B) *trace.Dataset {
+	b.Helper()
+	return exactDataset(b, 64, 512)
+}
+
+func reportPoints(b *testing.B, points int) {
+	b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+func BenchmarkStoreBuild(b *testing.B) {
+	d := benchDataset(b)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("bench-%d.mstore", i))
+		if err := WriteDataset(path, d, Options{Shards: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPoints(b, d.TotalPoints())
+}
+
+func BenchmarkStoreScan(b *testing.B) {
+	d := benchDataset(b)
+	s := buildStore(b, d, Options{Shards: 8})
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := s.Scan(ctx, ScanOptions{Workers: workers}, func(string, []trace.Point) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPoints(b, d.TotalPoints())
+		})
+	}
+}
+
+// BenchmarkStoreScanCold measures the no-cache path: every iteration
+// reads and decodes all blocks from disk.
+func BenchmarkStoreScanCold(b *testing.B) {
+	d := benchDataset(b)
+	dir := filepath.Join(b.TempDir(), "cold.mstore")
+	if err := WriteDataset(dir, d, Options{Shards: 8}); err != nil {
+		b.Fatal(err)
+	}
+	s, err := OpenWith(dir, OpenOptions{CacheBlocks: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Scan(ctx, ScanOptions{Workers: 4}, func(string, []trace.Point) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPoints(b, d.TotalPoints())
+}
+
+// BenchmarkStoreScanPruned scans with a bbox matching nothing: all the
+// work is footer pruning, no block is read.
+func BenchmarkStoreScanPruned(b *testing.B) {
+	d := benchDataset(b)
+	s := buildStore(b, d, Options{Shards: 8})
+	ctx := context.Background()
+	opts := ScanOptions{
+		From: time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC),
+		To:   time.Date(2101, 1, 1, 0, 0, 0, 0, time.UTC),
+		BBox: geo.NewBBox(geo.Point{Lat: 0, Lng: 0}, geo.Point{Lat: 0.001, Lng: 0.001}),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Scan(ctx, opts, func(string, []trace.Point) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPoints(b, d.TotalPoints())
+}
+
+// BenchmarkReadCSV is the text-parsing baseline BenchmarkStoreScan is
+// compared against.
+func BenchmarkReadCSV(b *testing.B) {
+	d := benchDataset(b)
+	var buf bytes.Buffer
+	if err := traceio.WriteCSV(&buf, d); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traceio.ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPoints(b, d.TotalPoints())
+}

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mobipriv/internal/trace"
+)
+
+// blockStats are the per-block footer statistics used for pruning.
+// Times are Unix microseconds; coordinates are fixed-point CoordScale
+// units.
+type blockStats struct {
+	user   string
+	points int
+	minT   int64
+	maxT   int64
+	minLat int64
+	maxLat int64
+	minLng int64
+	maxLng int64
+}
+
+// blockEntry is one footer record: where a block lives plus its stats.
+type blockEntry struct {
+	offset uint64
+	length uint64
+	crc    uint32
+	blockStats
+}
+
+// appendBlock encodes one block — a run of pts for a single user — onto
+// dst and returns the grown slice together with the block's stats. The
+// caller must pass pts sorted by time; the encoder stores the first
+// value of each column as a zigzag varint and every subsequent value as
+// a zigzag varint delta.
+func appendBlock(dst []byte, user string, pts []trace.Point) ([]byte, blockStats) {
+	st := blockStats{user: user, points: len(pts)}
+	dst = binary.AppendUvarint(dst, uint64(len(user)))
+	dst = append(dst, user...)
+	dst = binary.AppendUvarint(dst, uint64(len(pts)))
+
+	var prev int64
+	for i, p := range pts {
+		us := toMicros(p.Time)
+		dst = binary.AppendVarint(dst, us-prev)
+		prev = us
+		if i == 0 || us < st.minT {
+			st.minT = us
+		}
+		if i == 0 || us > st.maxT {
+			st.maxT = us
+		}
+	}
+	prev = 0
+	for i, p := range pts {
+		q := quantize(p.Lat)
+		dst = binary.AppendVarint(dst, q-prev)
+		prev = q
+		if i == 0 || q < st.minLat {
+			st.minLat = q
+		}
+		if i == 0 || q > st.maxLat {
+			st.maxLat = q
+		}
+	}
+	prev = 0
+	for i, p := range pts {
+		q := quantize(p.Lng)
+		dst = binary.AppendVarint(dst, q-prev)
+		prev = q
+		if i == 0 || q < st.minLng {
+			st.minLng = q
+		}
+		if i == 0 || q > st.maxLng {
+			st.maxLng = q
+		}
+	}
+	return dst, st
+}
+
+// corruptf builds an ErrCorrupt with context.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// varintReader decodes varints from an in-memory buffer with bounds
+// checking that surfaces as ErrCorrupt.
+type varintReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *varintReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = corruptf("bad uvarint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *varintReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = corruptf("bad varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *varintReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.err = corruptf("truncated field at offset %d (want %d bytes, have %d)", r.pos, n, len(r.buf)-r.pos)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b
+}
+
+// decodeBlock decodes one block previously written by appendBlock. The
+// returned points are freshly allocated.
+func decodeBlock(data []byte) (string, []trace.Point, error) {
+	r := &varintReader{buf: data}
+	user := string(r.bytes(r.uvarint()))
+	count := r.uvarint()
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	// A conservative lower bound: every point contributes at least one
+	// byte to each of the three columns, so a count exceeding a third
+	// of the remaining bytes is corruption — checked before allocating.
+	if rest := uint64(len(data) - r.pos); count > rest || count*3 > rest {
+		return "", nil, corruptf("block count %d exceeds payload (%d bytes left)", count, len(data)-r.pos)
+	}
+	pts := make([]trace.Point, count)
+	var prev int64
+	for i := range pts {
+		prev += r.varint()
+		pts[i].Time = fromMicros(prev)
+	}
+	prev = 0
+	for i := range pts {
+		prev += r.varint()
+		pts[i].Lat = dequantize(prev)
+	}
+	prev = 0
+	for i := range pts {
+		prev += r.varint()
+		pts[i].Lng = dequantize(prev)
+	}
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if r.pos != len(data) {
+		return "", nil, corruptf("block has %d trailing bytes", len(data)-r.pos)
+	}
+	return user, pts, nil
+}
+
+// appendFooter encodes the footer: the block count, then one entry per
+// block.
+func appendFooter(dst []byte, entries []blockEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, e.offset)
+		dst = binary.AppendUvarint(dst, e.length)
+		dst = binary.AppendUvarint(dst, uint64(e.crc))
+		dst = binary.AppendUvarint(dst, uint64(len(e.user)))
+		dst = append(dst, e.user...)
+		dst = binary.AppendUvarint(dst, uint64(e.points))
+		dst = binary.AppendVarint(dst, e.minT)
+		dst = binary.AppendVarint(dst, e.maxT)
+		dst = binary.AppendVarint(dst, e.minLat)
+		dst = binary.AppendVarint(dst, e.maxLat)
+		dst = binary.AppendVarint(dst, e.minLng)
+		dst = binary.AppendVarint(dst, e.maxLng)
+	}
+	return dst
+}
+
+// decodeFooter decodes a footer written by appendFooter.
+func decodeFooter(data []byte) ([]blockEntry, error) {
+	r := &varintReader{buf: data}
+	count := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if count > uint64(len(data)) { // every entry takes >1 byte
+		return nil, corruptf("footer block count %d exceeds footer size %d", count, len(data))
+	}
+	entries := make([]blockEntry, count)
+	for i := range entries {
+		e := &entries[i]
+		e.offset = r.uvarint()
+		e.length = r.uvarint()
+		e.crc = uint32(r.uvarint())
+		e.user = string(r.bytes(r.uvarint()))
+		e.points = int(r.uvarint())
+		e.minT = r.varint()
+		e.maxT = r.varint()
+		e.minLat = r.varint()
+		e.maxLat = r.varint()
+		e.minLng = r.varint()
+		e.maxLng = r.varint()
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	if r.pos != len(data) {
+		return nil, corruptf("footer has %d trailing bytes", len(data)-r.pos)
+	}
+	return entries, nil
+}

@@ -1,0 +1,25 @@
+package store
+
+import (
+	"context"
+	"strings"
+
+	"mobipriv/internal/trace"
+	"mobipriv/internal/traceio"
+)
+
+// ReadDataset loads a dataset from any supported path: an ".mstore"
+// store directory via Open/Load, or CSV/JSONL/PLT text (optionally
+// gzipped) via traceio.ReadFile — the one input loader shared by the
+// batch command-line tools.
+func ReadDataset(ctx context.Context, path string) (*trace.Dataset, error) {
+	if strings.HasSuffix(path, ".mstore") {
+		s, err := Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		return s.Load(ctx)
+	}
+	return traceio.ReadFile(path)
+}

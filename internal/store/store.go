@@ -1,0 +1,186 @@
+// Package store implements mobipriv's native on-disk dataset format: a
+// sharded, columnar trace store (".mstore") that lets the batch tools,
+// the experiment harness and the streaming sink share datasets larger
+// than RAM.
+//
+// # Layout
+//
+// A store is a directory:
+//
+//	data.mstore/
+//	  manifest.json   format version, shard list, dataset-level stats
+//	  seg-0000.blk    segment (shard) files
+//	  seg-0001.blk
+//	  ...
+//
+// Traces are sharded by user: a user's blocks always live in the
+// segment numbered splitmix64(fnv64a(user)) mod shards (reusing
+// internal/rng's finalizer), so per-user lookups touch one file and
+// parallel scans partition naturally by segment.
+//
+// # Segment format
+//
+// A segment file is a magic header, a sequence of blocks, a footer and
+// a fixed-size trailer:
+//
+//	"MSTORE1\n" | block* | footer | footerLen uint64le | "MSTEND1\n"
+//
+// Each block holds one contiguous run of observations of a single user,
+// encoded columnarly: the user string, the point count, then all
+// timestamps, all latitudes and all longitudes as delta streams.
+// Timestamps are Unix microseconds; coordinates are fixed-point degrees
+// scaled by CoordScale (1e7, i.e. 1e-7° ≈ 1.1 cm resolution). The first
+// value of each stream and every delta is a zigzag varint
+// (encoding/binary.AppendVarint).
+//
+// Quantization is the only lossy step of the format and is pinned by
+// tests: loading a store built from a dataset whose timestamps are
+// microsecond-aligned and whose coordinates are multiples of 1e-7°
+// reproduces the dataset exactly.
+//
+// The footer records, per block: byte offset and length, a CRC-32
+// (IEEE) of the block bytes, the user, the point count, the time range
+// and the bounding box. Readers prune scans on these stats — a block
+// whose time range or bbox is disjoint from the scan filter is skipped
+// without being read or decoded — and verify the CRC before decoding
+// what remains.
+//
+// # API
+//
+// Writer builds a store from any point source (a traceio decoder, a
+// trace.Dataset, or a live stream) via Add/Append; Open returns a Store
+// whose Scan fans segments across internal/par workers with bbox, time
+// and user filters plus an LRU block cache, and whose Load materializes
+// a full trace.Dataset for compatibility with the batch pipeline.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"mobipriv/internal/rng"
+)
+
+// Format constants. Changing any of these is a format break and must
+// bump Version.
+const (
+	// Version is the on-disk format version recorded in the manifest.
+	Version = 1
+
+	// CoordScale is the fixed-point coordinate scale: degrees are stored
+	// as round(deg * CoordScale) (1e-7° ≈ 1.1 cm at the equator).
+	CoordScale = 1e7
+
+	// magicHeader opens every segment file; magicTrailer closes it.
+	magicHeader  = "MSTORE1\n"
+	magicTrailer = "MSTEND1\n"
+
+	// manifestName is the manifest file inside the store directory.
+	manifestName = "manifest.json"
+)
+
+// Errors returned by the store. Wrapped with context; match with
+// errors.Is.
+var (
+	// ErrCorrupt reports a structurally damaged store: bad magic,
+	// truncated footer, CRC mismatch, or an undecodable block.
+	ErrCorrupt = errors.New("store: corrupt store")
+
+	// ErrDuplicateUser reports a second Add for a user already added.
+	ErrDuplicateUser = errors.New("store: duplicate user")
+
+	// ErrExists reports Create on a path that already holds a store.
+	ErrExists = errors.New("store: store already exists")
+
+	// ErrClosed reports use of a closed Writer or Store.
+	ErrClosed = errors.New("store: closed")
+)
+
+// Options configures Create.
+type Options struct {
+	// Shards is the number of segment files (default 8). More shards
+	// mean more scan parallelism; users are pinned to shards by hash.
+	Shards int
+
+	// BlockPoints caps the number of points per block (default 4096).
+	// Smaller blocks prune at a finer grain; larger blocks amortize
+	// per-block overhead.
+	BlockPoints int
+
+	// Overwrite lets Create replace an existing store at the target
+	// path (only the store's own files — manifest and segments — are
+	// removed). Without it, Create fails with ErrExists, which is the
+	// right default for service sinks that must never clobber data.
+	Overwrite bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.BlockPoints <= 0 {
+		o.BlockPoints = 4096
+	}
+	return o
+}
+
+// Manifest is the JSON document tying a store's segments together.
+type Manifest struct {
+	Format     string        `json:"format"`  // always "mstore"
+	Version    int           `json:"version"` // format version
+	CoordScale float64       `json:"coord_scale"`
+	TimeUnit   string        `json:"time_unit"` // always "us"
+	Shards     int           `json:"shards"`
+	Segments   []SegmentInfo `json:"segments"`
+
+	// Dataset-level stats, for info tooling and cheap whole-store
+	// pruning.
+	Users     int   `json:"users"`
+	Points    int   `json:"points"`
+	MinTimeUS int64 `json:"min_time_us,omitempty"`
+	MaxTimeUS int64 `json:"max_time_us,omitempty"`
+	// BBoxE7 is [minLat, minLng, maxLat, maxLng] in fixed-point 1e-7
+	// degrees; absent for an empty store.
+	BBoxE7 []int64 `json:"bbox_e7,omitempty"`
+}
+
+// SegmentInfo summarizes one segment file in the manifest.
+type SegmentInfo struct {
+	File   string `json:"file"`
+	Blocks int    `json:"blocks"`
+	Users  int    `json:"users"`
+	Points int    `json:"points"`
+}
+
+// shardOf routes a user to a segment: FNV-1a of the user identifier
+// pushed through the splitmix64 finalizer, mod the shard count.
+func shardOf(user string, shards int) int {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(user); i++ {
+		h ^= uint64(user[i])
+		h *= prime64
+	}
+	return int(rng.Mix(h) % uint64(shards))
+}
+
+// quantize converts degrees to fixed-point CoordScale units.
+func quantize(deg float64) int64 { return int64(math.Round(deg * CoordScale)) }
+
+// dequantize converts fixed-point units back to degrees.
+func dequantize(q int64) float64 { return float64(q) / CoordScale }
+
+// toMicros converts a timestamp to the on-disk microsecond epoch.
+func toMicros(t time.Time) int64 { return t.UnixMicro() }
+
+// fromMicros converts an on-disk timestamp back to a UTC time.Time.
+func fromMicros(us int64) time.Time { return time.UnixMicro(us).UTC() }
+
+// blockCRC is the checksum over a block's encoded bytes.
+func blockCRC(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// segName names the i-th segment file.
+func segName(i int) string { return fmt.Sprintf("seg-%04d.blk", i) }

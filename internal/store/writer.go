@@ -1,0 +1,359 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mobipriv/internal/trace"
+)
+
+// Writer builds a store directory. Points are buffered per user and
+// flushed to the user's shard as columnar blocks whenever a buffer
+// reaches Options.BlockPoints; Close flushes the remainder and writes
+// the footers and the manifest. A store is readable only after a
+// successful Close.
+//
+// Writer is safe for concurrent use, so a streaming service can append
+// from several shard goroutines into one store.
+type Writer struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	segs   []*segWriter
+	bufs   map[string][]trace.Point // pending points per user
+	sealed map[string]bool          // users added via Add (whole traces)
+	users  map[string]bool          // every user ever appended
+	points int
+	closed bool
+}
+
+// segWriter accumulates one segment file.
+type segWriter struct {
+	f       *os.File
+	offset  uint64
+	entries []blockEntry
+	users   map[string]bool
+	points  int
+}
+
+// Create initializes an empty store at path (a directory that must not
+// already contain a store) and returns a Writer for it.
+func Create(path string, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", path, err)
+	}
+	if _, err := os.Stat(filepath.Join(path, manifestName)); err == nil {
+		if !opts.Overwrite {
+			return nil, fmt.Errorf("%w: %s", ErrExists, path)
+		}
+		if err := removeStoreFiles(path); err != nil {
+			return nil, err
+		}
+	}
+	w := &Writer{
+		dir:    path,
+		opts:   opts,
+		segs:   make([]*segWriter, opts.Shards),
+		bufs:   make(map[string][]trace.Point),
+		sealed: make(map[string]bool),
+		users:  make(map[string]bool),
+	}
+	for i := range w.segs {
+		f, err := os.Create(filepath.Join(path, segName(i)))
+		if err != nil {
+			w.abort()
+			return nil, fmt.Errorf("store: create segment: %w", err)
+		}
+		if _, err := f.WriteString(magicHeader); err != nil {
+			w.abort()
+			return nil, fmt.Errorf("store: write segment header: %w", err)
+		}
+		w.segs[i] = &segWriter{f: f, offset: uint64(len(magicHeader)), users: make(map[string]bool)}
+	}
+	return w, nil
+}
+
+// removeStoreFiles deletes an existing store's manifest and segment
+// files — and nothing else, so a mistyped path cannot wipe foreign
+// data.
+func removeStoreFiles(path string) error {
+	if err := os.Remove(filepath.Join(path, manifestName)); err != nil {
+		return fmt.Errorf("store: overwrite %s: %w", path, err)
+	}
+	segs, err := filepath.Glob(filepath.Join(path, "seg-*.blk"))
+	if err != nil {
+		return fmt.Errorf("store: overwrite %s: %w", path, err)
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			return fmt.Errorf("store: overwrite %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// abort closes any opened segment files after a failed Create.
+func (w *Writer) abort() {
+	for _, s := range w.segs {
+		if s != nil {
+			s.f.Close()
+		}
+	}
+}
+
+// Add writes one whole trace and seals its user: a second Add (or a
+// later Append) for the same user fails with ErrDuplicateUser. The
+// trace must be valid (trace.Trace invariant).
+func (w *Writer) Add(tr *trace.Trace) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.sealed[tr.User] || len(w.bufs[tr.User]) > 0 || w.users[tr.User] {
+		return fmt.Errorf("%w: %q", ErrDuplicateUser, tr.User)
+	}
+	if err := w.append(tr.User, tr.Points); err != nil {
+		return err
+	}
+	w.sealed[tr.User] = true
+	return nil
+}
+
+// Append adds points to a user's open trace, creating it on first use.
+// Unlike Add it may be called repeatedly for the same user — the
+// streaming-sink entry point — but not for a user sealed by Add. The
+// points of each call must be time-ordered; across calls, Load sorts.
+func (w *Writer) Append(user string, pts ...trace.Point) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if user == "" {
+		return trace.ErrNoUser
+	}
+	if w.sealed[user] {
+		return fmt.Errorf("%w: %q", ErrDuplicateUser, user)
+	}
+	return w.append(user, pts)
+}
+
+// append buffers pts for user and flushes full blocks. Caller holds mu.
+func (w *Writer) append(user string, pts []trace.Point) error {
+	for _, p := range pts {
+		if err := p.Point.Validate(); err != nil {
+			return fmt.Errorf("store: user %q: %w", user, err)
+		}
+	}
+	w.users[user] = true
+	w.bufs[user] = append(w.bufs[user], pts...)
+	w.points += len(pts)
+	for len(w.bufs[user]) >= w.opts.BlockPoints {
+		if err := w.flushUser(user, w.opts.BlockPoints); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushUser writes up to n buffered points of user as one block into
+// the user's shard. Caller holds mu.
+func (w *Writer) flushUser(user string, n int) error {
+	buf := w.bufs[user]
+	if len(buf) == 0 {
+		return nil
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	pts := buf[:n]
+	rest := buf[n:]
+	// Blocks are encoded time-sorted so delta streams stay small and
+	// block time ranges are tight even when the source (a CSV in
+	// arbitrary row order) is not. Observations that collapse onto the
+	// same on-disk microsecond keep only the first (mirroring
+	// traceio.ReadPLT), since no loaded trace could hold both.
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Time.Before(pts[j].Time) })
+	if deduped := dedupeMicros(pts); len(deduped) != len(pts) {
+		w.points -= len(pts) - len(deduped)
+		pts = deduped
+	}
+
+	seg := w.segs[shardOf(user, len(w.segs))]
+	data, st := appendBlock(nil, user, pts)
+	if _, err := seg.f.Write(data); err != nil {
+		return fmt.Errorf("store: write block: %w", err)
+	}
+	seg.entries = append(seg.entries, blockEntry{
+		offset:     seg.offset,
+		length:     uint64(len(data)),
+		crc:        blockCRC(data),
+		blockStats: st,
+	})
+	seg.offset += uint64(len(data))
+	seg.users[user] = true
+	seg.points += len(pts)
+	if len(rest) == 0 {
+		delete(w.bufs, user)
+	} else {
+		w.bufs[user] = rest
+	}
+	return nil
+}
+
+// flushAll writes every buffered run out as a block, in user order so
+// rebuilding the same dataset yields a byte-identical store. Caller
+// holds mu.
+func (w *Writer) flushAll() error {
+	pending := make([]string, 0, len(w.bufs))
+	for u := range w.bufs {
+		pending = append(pending, u)
+	}
+	sort.Strings(pending)
+	for _, u := range pending {
+		if err := w.flushUser(u, len(w.bufs[u])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes all buffered points to their shards regardless of block
+// size, bounding the Writer's memory for long-running streaming sinks
+// (many users, each far below BlockPoints). The cost is fragmentation —
+// more, smaller blocks — which `mobistore compact` undoes offline.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.flushAll()
+}
+
+// Close flushes every buffered trace, writes each segment's footer and
+// trailer, and writes the manifest, after which the store is complete
+// and readable. Close is idempotent; later writes fail with ErrClosed.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+
+	if err := w.flushAll(); err != nil {
+		w.abort()
+		return err
+	}
+
+	man := Manifest{
+		Format:     "mstore",
+		Version:    Version,
+		CoordScale: CoordScale,
+		TimeUnit:   "us",
+		Shards:     len(w.segs),
+		Users:      len(w.users),
+		Points:     w.points,
+	}
+	first := true
+	for i, seg := range w.segs {
+		footer := appendFooter(nil, seg.entries)
+		if _, err := seg.f.Write(footer); err != nil {
+			w.abort()
+			return fmt.Errorf("store: write footer: %w", err)
+		}
+		var trailer [16]byte
+		binary.LittleEndian.PutUint64(trailer[:8], uint64(len(footer)))
+		copy(trailer[8:], magicTrailer)
+		if _, err := seg.f.Write(trailer[:]); err != nil {
+			w.abort()
+			return fmt.Errorf("store: write trailer: %w", err)
+		}
+		if err := seg.f.Close(); err != nil {
+			return fmt.Errorf("store: close segment: %w", err)
+		}
+		man.Segments = append(man.Segments, SegmentInfo{
+			File:   segName(i),
+			Blocks: len(seg.entries),
+			Users:  len(seg.users),
+			Points: seg.points,
+		})
+		for _, e := range seg.entries {
+			if first || e.minT < man.MinTimeUS {
+				man.MinTimeUS = e.minT
+			}
+			if first || e.maxT > man.MaxTimeUS {
+				man.MaxTimeUS = e.maxT
+			}
+			if first {
+				man.BBoxE7 = []int64{e.minLat, e.minLng, e.maxLat, e.maxLng}
+			} else {
+				man.BBoxE7[0] = min(man.BBoxE7[0], e.minLat)
+				man.BBoxE7[1] = min(man.BBoxE7[1], e.minLng)
+				man.BBoxE7[2] = max(man.BBoxE7[2], e.maxLat)
+				man.BBoxE7[3] = max(man.BBoxE7[3], e.maxLng)
+			}
+			first = false
+		}
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(w.dir, manifestName), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	return nil
+}
+
+// dedupeMicros drops points whose timestamp lands on the same on-disk
+// microsecond as the previous one; pts must be time-sorted.
+func dedupeMicros(pts []trace.Point) []trace.Point {
+	if len(pts) < 2 {
+		return pts
+	}
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		if toMicros(p.Time) > toMicros(out[len(out)-1].Time) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WriteDataset builds a complete store at path from an in-memory
+// dataset — the convenience used by mobigen and the batch tools.
+func WriteDataset(path string, d *trace.Dataset, opts Options) error {
+	w, err := Create(path, opts)
+	if err != nil {
+		return err
+	}
+	for _, tr := range d.Traces() {
+		if err := w.Add(tr); err != nil {
+			w.abortClose()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// abortClose marks the writer closed and releases its files after a
+// mid-build failure, leaving the partial (manifest-less) directory
+// behind for inspection.
+func (w *Writer) abortClose() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.closed {
+		w.closed = true
+		w.abort()
+	}
+}

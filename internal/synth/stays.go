@@ -1,0 +1,54 @@
+package synth
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"mobipriv/internal/geo"
+)
+
+// ReadStays parses the ground-truth stays CSV written by cmd/mobigen
+// (header "user,lat,lng,enter,leave", RFC 3339 timestamps) — the loader
+// shared by the evaluation tools that accept external ground truth.
+func ReadStays(r io.Reader) ([]Stay, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read stays: %w", err)
+	}
+	var out []Stay
+	for i, rec := range recs {
+		if i == 0 && len(rec) == 5 && rec[0] == "user" {
+			continue
+		}
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("stays line %d: want 5 fields, got %d", i+1, len(rec))
+		}
+		lat, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stays line %d: lat: %w", i+1, err)
+		}
+		lng, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stays line %d: lng: %w", i+1, err)
+		}
+		enter, err := time.Parse(time.RFC3339, rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("stays line %d: enter: %w", i+1, err)
+		}
+		leave, err := time.Parse(time.RFC3339, rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("stays line %d: leave: %w", i+1, err)
+		}
+		out = append(out, Stay{
+			User:   rec[0],
+			Center: geo.Point{Lat: lat, Lng: lng},
+			Enter:  enter,
+			Leave:  leave,
+		})
+	}
+	return out, nil
+}

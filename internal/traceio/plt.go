@@ -25,6 +25,10 @@ import (
 // the directory name) and passed through to fn. Timestamp deduplication
 // is the batch reader's concern; the raw records stream as recorded.
 func DecodePLT(r io.Reader, user string, fn RecordFunc) error {
+	r, err := maybeGunzip(r)
+	if err != nil {
+		return err
+	}
 	sc := bufio.NewScanner(r)
 	line := 0
 	for sc.Scan() {

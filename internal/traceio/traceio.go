@@ -10,6 +10,10 @@
 // All readers validate the resulting dataset (sorted times, coordinate
 // ranges, unique users) before returning it.
 //
+// Every reader and streaming decoder transparently decompresses
+// gzip-compressed input, detected by the gzip magic bytes rather than
+// the file name, so raw ".csv.gz"/".plt.gz" dumps feed straight in.
+//
 // Each text format also has a record-at-a-time streaming decoder
 // (DecodeCSV, DecodeJSONL, DecodePLT) that invokes a callback per
 // observation instead of materializing the dataset, so serving systems
@@ -19,17 +23,40 @@ package traceio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"mobipriv/internal/trace"
 )
+
+// maybeGunzip sniffs r for the gzip magic bytes and, when present,
+// returns a decompressing reader; otherwise it returns the (buffered)
+// input unchanged. Sniffing content instead of file names lets every
+// decoder accept ".gz" dumps and compressed HTTP bodies alike.
+func maybeGunzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil || len(magic) < 2 || magic[0] != 0x1f || magic[1] != 0x8b {
+		// Short or unreadable input is handed through: the decoder
+		// produces its own (better-contextualized) EOF or parse error.
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: gzip: %w", err)
+	}
+	return zr, nil
+}
 
 // ErrBadRecord reports a malformed input row; it is wrapped with line
 // context.
@@ -76,6 +103,10 @@ func WriteCSV(w io.Writer, d *trace.Dataset) error {
 // entry point for replaying or ingesting files larger than memory. A
 // header row (exactly the canonical column names) is skipped.
 func DecodeCSV(r io.Reader, fn RecordFunc) error {
+	r, err := maybeGunzip(r)
+	if err != nil {
+		return err
+	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 4
 	line := 0
@@ -192,6 +223,10 @@ func WriteJSONL(w io.Writer, d *trace.Dataset) error {
 // DecodeJSONL reads JSONL record-at-a-time, invoking fn for every
 // observation in file order without materializing the dataset.
 func DecodeJSONL(r io.Reader, fn RecordFunc) error {
+	r, err := maybeGunzip(r)
+	if err != nil {
+		return err
+	}
 	dec := json.NewDecoder(r)
 	line := 0
 	for {
@@ -238,6 +273,52 @@ func WriteJSONLRecord(w io.Writer, user string, p trace.Point) error {
 		return err
 	}
 	return nil
+}
+
+// ReadFile reads a dataset file, routing on the extension after
+// stripping a trailing ".gz": ".jsonl" -> ReadJSONL, ".plt" -> ReadPLT
+// (the user is the file's base name), anything else -> ReadCSV.
+// Compression is detected from the content, so a gzipped file without
+// the ".gz" suffix also works.
+func ReadFile(path string) (*trace.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(path, ".gz")
+	switch filepath.Ext(name) {
+	case ".jsonl":
+		return ReadJSONL(f)
+	case ".plt":
+		user := strings.TrimSuffix(filepath.Base(name), ".plt")
+		tr, err := ReadPLT(f, user)
+		if err != nil {
+			return nil, err
+		}
+		return trace.NewDataset([]*trace.Trace{tr})
+	default:
+		return ReadCSV(f)
+	}
+}
+
+// DecodeFile streams a dataset file record-at-a-time with the same
+// routing as ReadFile.
+func DecodeFile(path string, fn RecordFunc) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(path, ".gz")
+	switch filepath.Ext(name) {
+	case ".jsonl":
+		return DecodeJSONL(f, fn)
+	case ".plt":
+		return DecodePLT(f, strings.TrimSuffix(filepath.Base(name), ".plt"), fn)
+	default:
+		return DecodeCSV(f, fn)
+	}
 }
 
 // geojson types cover the tiny subset needed for LineString export.
