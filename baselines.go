@@ -71,7 +71,8 @@ func init() {
 // Raw returns the identity mechanism: the dataset is published as-is
 // (the strawman every evaluation compares against). The input dataset
 // is returned without copying. It is streaming-capable (AsStreaming):
-// the online adapter republishes every update immediately.
+// the online adapter republishes every update immediately. It is also
+// per-trace-capable (AsPerTrace) for store-native runs.
 func Raw() Mechanism {
 	m := NewMechanism("raw", func(ctx context.Context, d *Dataset) (*Result, error) {
 		if err := ctx.Err(); err != nil {
@@ -81,7 +82,7 @@ func Raw() Mechanism {
 		res.AddReport(StageReport{Stage: "raw"})
 		return res, nil
 	})
-	return WithStreaming(m, streamRaw())
+	return WithPerTrace(WithStreaming(m, streamRaw()), perTraceRaw())
 }
 
 // Promesse returns the smoothing-only mechanism (the paper's PROMESSE
@@ -103,7 +104,7 @@ func promesse(epsilon, trim, window float64) Mechanism {
 		res.AddReport(StageReport{Stage: "smooth", Dropped: rep.Dropped})
 		return res, nil
 	})
-	return WithStreaming(m, streamPromesse(epsilon, window))
+	return WithPerTrace(WithStreaming(m, streamPromesse(epsilon, window)), perTracePromesse(epsilon, trim))
 }
 
 // GeoI returns the geo-indistinguishability baseline (planar Laplace
@@ -124,7 +125,7 @@ func GeoI(epsilon float64, seed int64) Mechanism {
 		res.AddReport(StageReport{Stage: "geoi"})
 		return res, nil
 	})
-	return WithStreaming(m, streamGeoI(epsilon, seed))
+	return WithPerTrace(WithStreaming(m, streamGeoI(epsilon, seed)), perTraceGeoI(epsilon, seed))
 }
 
 // W4M returns the Wait4Me (k,δ)-anonymity baseline (Abul, Bonchi &
@@ -155,4 +156,53 @@ func (m w4mMechanism) Apply(ctx context.Context, d *Dataset) (*Result, error) {
 	res := &Result{Dataset: w4mRes.Dataset}
 	res.AddReport(StageReport{Stage: "w4m", Dropped: w4mRes.Suppressed})
 	return res, nil
+}
+
+// The built-in per-trace functions mirror exactly what the batch Apply
+// does to each individual trace, which is what makes store-native runs
+// (Runner.RunStore) Load-identical to the in-memory path. pipeline and
+// w4m stay batch-only: mix-zone swapping and (k,δ)-aggregation need
+// every trace at once.
+
+func perTraceRaw() PerTraceFunc {
+	return func(ctx context.Context, tr *Trace) (*Trace, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+}
+
+func perTracePromesse(epsilon, trim float64) PerTraceFunc {
+	cfg := core.Config{Epsilon: epsilon, Trim: trim}
+	return func(ctx context.Context, tr *Trace) (*Trace, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out, err := core.Smooth(tr, cfg)
+		if err != nil {
+			// The same drops SmoothDatasetCtx reports as Dropped.
+			if errors.Is(err, core.ErrTraceTooShort) || errors.Is(err, core.ErrZeroDuration) {
+				return nil, nil
+			}
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+func perTraceGeoI(epsilon float64, seed int64) PerTraceFunc {
+	cfg := geoind.Config{Epsilon: epsilon, Seed: seed}
+	return func(ctx context.Context, tr *Trace) (*Trace, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Same per-(seed, user) RNG derivation as PerturbDatasetCtx, so
+		// the noise stream is identical to the batch run.
+		m, err := geoind.NewForUser(cfg, tr.User)
+		if err != nil {
+			return nil, err
+		}
+		return m.Perturb(tr)
+	}
 }

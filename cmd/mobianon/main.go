@@ -12,6 +12,13 @@
 //	mobianon -in raw.csv -mechanism "w4m(k=4,delta=200)"
 //	mobianon -in raw.csv -workers 8                           # parallel per-trace work
 //	mobianon -in big.mstore -out anon.mstore                  # native store in and out
+//
+// When the input and the output are both .mstore stores and the
+// mechanism is per-trace-capable (raw, promesse, geoi), the run is
+// store-native: traces stream from the input store through the worker
+// pool into the output store without the dataset ever being resident —
+// memory stays flat however large the store. Batch-only mechanisms
+// (pipeline, w4m) load the dataset as before.
 package main
 
 import (
@@ -60,10 +67,6 @@ func run(args []string, stdout io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	d, err := store.ReadDataset(context.Background(), *in)
-	if err != nil {
-		return err
-	}
 
 	// A bare mechanism name takes its parameters from the legacy flags;
 	// a parenthesized spec is passed to the registry verbatim.
@@ -91,8 +94,20 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-
 	runner := mobipriv.NewRunner(mobipriv.WithWorkers(*workers))
+
+	// Store in, store out, per-trace mechanism: run store-natively,
+	// trace-by-trace, without ever materializing the dataset. Batch-only
+	// mechanisms (pipeline, w4m) fall through to the in-memory path.
+	if _, perTrace := mobipriv.AsPerTrace(m); perTrace &&
+		strings.HasSuffix(*in, ".mstore") && strings.HasSuffix(*out, ".mstore") {
+		return runStoreNative(*in, *out, m, runner)
+	}
+
+	d, err := store.ReadDataset(context.Background(), *in)
+	if err != nil {
+		return err
+	}
 	res, err := runner.Run(context.Background(), m, d)
 	if err != nil {
 		return err
@@ -122,6 +137,37 @@ func run(args []string, stdout io.Writer) error {
 		return traceio.WriteJSONL(w, published)
 	}
 	return traceio.WriteCSV(w, published)
+}
+
+// runStoreNative anonymizes store-to-store via Runner.RunStore: the
+// larger-than-RAM path, memory bounded by workers × largest trace.
+func runStoreNative(in, out string, m mobipriv.Mechanism, runner *mobipriv.Runner) error {
+	if store.SamePath(in, out) {
+		// Creating the output would unlink the input's segments before
+		// they are read; a mid-run failure would lose the dataset.
+		return fmt.Errorf("store-native run cannot rewrite %s in place; write to a new store and move it", in)
+	}
+	s, err := store.Open(in)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	// Keep the input's shard count so scan parallelism carries over;
+	// Overwrite matches the text outputs' os.Create truncation.
+	w, err := store.Create(out, store.Options{Shards: s.Manifest().Shards, Overwrite: true})
+	if err != nil {
+		return err
+	}
+	stats, err := runner.RunStore(context.Background(), s, w, m)
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: store-native: %d traces (%d points) -> %d traces (%d points), %d users dropped, peak %d in flight\n",
+		m.Name(), stats.Traces, stats.Points, stats.OutTraces, stats.OutPoints, len(stats.Dropped), stats.PeakInFlight)
+	return nil
 }
 
 // describeStage renders one stage report for the operator.

@@ -131,6 +131,92 @@ func TestRunStoreInOut(t *testing.T) {
 	}
 }
 
+// TestRunStoreNative exercises the automatic store-native path: a
+// per-trace mechanism with .mstore on both sides must stream store to
+// store and produce exactly what the in-memory path produces.
+func TestRunStoreNative(t *testing.T) {
+	in := writeInput(t)
+	dir := t.TempDir()
+	inStore := filepath.Join(dir, "in.mstore")
+	f, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := traceio.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteDataset(inStore, d, store.Options{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	outStore := filepath.Join(dir, "native.mstore")
+	if err := run([]string{"-in", inStore, "-out", outStore, "-mechanism", "geoi(epsilon=0.01,seed=5)"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(outStore)
+	if err != nil {
+		t.Fatalf("store-native output unreadable: %v", err)
+	}
+	defer s.Close()
+	got, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the in-memory path over the same store, text output.
+	refCSV := filepath.Join(dir, "ref.csv")
+	if err := run([]string{"-in", inStore, "-out", refCSV, "-mechanism", "geoi(epsilon=0.01,seed=5)"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(refCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := traceio.ReadCSV(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || got.TotalPoints() != want.TotalPoints() {
+		t.Fatalf("store-native output (%d users, %d points) != in-memory output (%d users, %d points)",
+			got.Len(), got.TotalPoints(), want.Len(), want.TotalPoints())
+	}
+	for _, u := range want.Users() {
+		wtr, gtr := want.ByUser(u), got.ByUser(u)
+		if gtr == nil {
+			t.Fatalf("user %q missing from store-native output", u)
+		}
+		for i := range wtr.Points {
+			wp, gp := wtr.Points[i], gtr.Points[i]
+			// The store quantizes coordinates to 1e-7° and times to the
+			// microsecond; CSV keeps full floats and nanoseconds.
+			if d := wp.Lat - gp.Lat; d > 1e-7 || d < -1e-7 {
+				t.Fatalf("user %q point %d: lat %v != %v", u, i, gp.Lat, wp.Lat)
+			}
+			if d := wp.Lng - gp.Lng; d > 1e-7 || d < -1e-7 {
+				t.Fatalf("user %q point %d: lng %v != %v", u, i, gp.Lng, wp.Lng)
+			}
+			if d := wp.Time.Sub(gp.Time); d > time.Microsecond || d < -time.Microsecond {
+				t.Fatalf("user %q point %d: time %v != %v", u, i, gp.Time, wp.Time)
+			}
+		}
+	}
+	// The store-native output preserves the input's shard count.
+	if got, want := s.Manifest().Shards, 4; got != want {
+		t.Errorf("output store has %d shards, want input's %d", got, want)
+	}
+
+	// In-place rewrite must be refused before the input is clobbered.
+	if err := run([]string{"-in", inStore, "-out", inStore, "-mechanism", "raw"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("in-place store-native run accepted")
+	}
+	if _, err := store.Open(inStore); err != nil {
+		t.Fatalf("input store damaged by rejected in-place run: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	in := writeInput(t)
 	cases := [][]string{

@@ -15,7 +15,9 @@
 // cat runs a pruned scan: blocks whose footer stats cannot match the
 // filters are skipped without being read. compact rewrites a store —
 // typically one grown by mobiserve's streaming sink — merging each
-// user's fragmented blocks into contiguous sorted runs.
+// user's fragmented blocks into contiguous sorted runs; the merge
+// streams trace-by-trace (store.Compact), so compacting a store never
+// loads the dataset.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"mobipriv/internal/geo"
+	"mobipriv/internal/par"
 	"mobipriv/internal/store"
 	"mobipriv/internal/trace"
 	"mobipriv/internal/traceio"
@@ -196,20 +199,29 @@ func runCat(args []string, stdout io.Writer) error {
 	}
 }
 
-// runCompact rewrites a store, merging each user's fragments.
+// runCompact rewrites a store as a streaming per-shard merge
+// (store.Compact): each user's fragments are assembled and rewritten
+// trace-by-trace, so compacting never needs more memory than the
+// fragments of the users in flight — not the dataset.
 func runCompact(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mobistore compact", flag.ContinueOnError)
 	var (
-		in     = fs.String("in", "", "input store; required")
-		out    = fs.String("out", "", "output store; required")
-		shards = fs.Int("shards", 0, "segment count of the output (0 keeps the input's)")
-		block  = fs.Int("block", 4096, "max points per block")
+		in      = fs.String("in", "", "input store; required")
+		out     = fs.String("out", "", "output store; required")
+		shards  = fs.Int("shards", 0, "segment count of the output (0 keeps the input's)")
+		block   = fs.Int("block", 4096, "max points per block")
+		workers = fs.Int("workers", 0, "parallel segment scanners (0 = one per CPU; 1 gives a byte-deterministic output)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compact: -in and -out are required")
+	}
+	if store.SamePath(*in, *out) {
+		// Creating the output would unlink the input's segments before
+		// they are read; a mid-run failure would lose the dataset.
+		return fmt.Errorf("compact: cannot rewrite %s in place; write to a new store and move it", *in)
 	}
 	s, err := store.Open(*in)
 	if err != nil {
@@ -219,27 +231,29 @@ func runCompact(args []string, stdout io.Writer) error {
 	if *shards == 0 {
 		*shards = s.Manifest().Shards
 	}
-	d, err := s.Load(context.Background())
+	w, err := store.Create(*out, store.Options{Shards: *shards, BlockPoints: *block, Overwrite: true})
 	if err != nil {
 		return err
 	}
-	if err := store.WriteDataset(*out, d, store.Options{Shards: *shards, BlockPoints: *block, Overwrite: true}); err != nil {
+	ctx := par.WithWorkers(context.Background(), *workers)
+	st, err := store.Compact(ctx, s, w)
+	if err != nil {
 		return err
 	}
-	inBlocks, outStore := 0, 0
-	for _, si := range s.Manifest().Segments {
-		inBlocks += si.Blocks
+	if err := w.Close(); err != nil {
+		return err
 	}
 	c, err := store.Open(*out)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	outBlocks := 0
 	for _, si := range c.Manifest().Segments {
-		outStore += si.Blocks
+		outBlocks += si.Blocks
 	}
-	fmt.Fprintf(stdout, "compacted %s (%d blocks) -> %s (%d blocks), %d users, %d points\n",
-		*in, inBlocks, *out, outStore, d.Len(), d.TotalPoints())
+	fmt.Fprintf(stdout, "compacted %s (%d blocks) -> %s (%d blocks), %d users, %d points (peak %d users buffered)\n",
+		*in, st.BlocksIn, *out, outBlocks, st.Users, st.Points, st.PeakBufferedUsers)
 	return nil
 }
 

@@ -156,6 +156,14 @@ func TestCompactMergesFragments(t *testing.T) {
 	if !strings.Contains(out.String(), "compacted") {
 		t.Errorf("missing summary line: %q", out.String())
 	}
+
+	// In-place compaction must be refused before the input is clobbered.
+	if err := run([]string{"compact", "-in", fragPath, "-out", fragPath}, &bytes.Buffer{}); err == nil {
+		t.Fatal("in-place compact accepted")
+	}
+	if _, err := store.Open(fragPath); err != nil {
+		t.Fatalf("input store damaged by rejected in-place compact: %v", err)
+	}
 }
 
 func TestRunErrors(t *testing.T) {

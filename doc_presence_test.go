@@ -1,0 +1,64 @@
+package mobipriv_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocsPresent pins the godoc contract: the packages that
+// carry cross-cutting invariants must state them in their package
+// comment, so `go doc` is the source of truth a new contributor can
+// trust (see docs/ARCHITECTURE.md). Each entry lists substrings the
+// package doc must mention, lowercased.
+func TestPackageDocsPresent(t *testing.T) {
+	cases := []struct {
+		dir      string
+		keywords []string
+	}{
+		// The public API: the five pillars and the determinism contract.
+		{".", []string{"mechanism", "store-native", "determinism", "(seed, user)"}},
+		// The store: shard pinning and first-wins microsecond dedup.
+		{"internal/store", []string{"shard", "first-wins", "microsecond", "crc"}},
+		// The streaming engine: shard hashing and backpressure.
+		{"internal/stream", []string{"hash(user)", "backpressure", "bounded"}},
+		// The parallel substrate: worker-count-independent determinism.
+		{"internal/par", []string{"worker", "determinism", "(seed, user)"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			doc := strings.ToLower(packageDoc(t, tc.dir))
+			if len(doc) < 200 {
+				t.Fatalf("package doc for %s is %d chars — missing or perfunctory", tc.dir, len(doc))
+			}
+			for _, kw := range tc.keywords {
+				if !strings.Contains(doc, kw) {
+					t.Errorf("package doc for %s does not mention %q", tc.dir, kw)
+				}
+			}
+		})
+	}
+}
+
+// packageDoc returns the concatenated package-level doc comments of the
+// non-test files in dir.
+func packageDoc(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	notTest := func(fi fs.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") }
+	pkgs, err := parser.ParseDir(fset, dir, notTest, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	var b strings.Builder
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				b.WriteString(f.Doc.Text())
+			}
+		}
+	}
+	return b.String()
+}

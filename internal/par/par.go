@@ -8,6 +8,15 @@
 // contain embarrassingly parallel per-trace work fan it out with Map.
 // Because every item writes only to its own index, the output of a
 // parallel run is byte-identical to the serial run.
+//
+// The invariant every caller relies on: Map never makes determinism
+// the worker count's problem. Work items must be independent (their
+// only shared state the indexed output slots), and any randomness must
+// be derived per item (the mechanisms derive RNGs from (seed, user)),
+// so the same inputs produce the same outputs at any worker count.
+// This is what lets the store scanner (internal/store), the streaming
+// engine (internal/stream) and the store-native Runner path all share
+// one substrate.
 package par
 
 import (
@@ -36,6 +45,21 @@ func Workers(ctx context.Context) int {
 		return n
 	}
 	return 1
+}
+
+// PeakAdd atomically increments current and folds the new value into
+// the peak high-water mark — the lock-free gauge behind the
+// "peak buffered users" / "peak in flight" stats of the store scanner
+// and the store-native Runner path. Decrement with a plain
+// atomic.AddInt64(current, -1).
+func PeakAdd(current, peak *int64) {
+	v := atomic.AddInt64(current, 1)
+	for {
+		p := atomic.LoadInt64(peak)
+		if v <= p || atomic.CompareAndSwapInt64(peak, p, v) {
+			return
+		}
+	}
 }
 
 // Map runs fn(0) .. fn(n-1) using the context's worker budget and

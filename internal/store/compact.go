@@ -1,0 +1,52 @@
+package store
+
+import (
+	"context"
+	"fmt"
+
+	"mobipriv/internal/trace"
+)
+
+// CompactStats reports what a Compact pass did.
+type CompactStats struct {
+	Users    int   // traces rewritten
+	Points   int64 // points rewritten (after microsecond dedup)
+	BlocksIn int64 // blocks read from the fragmented input
+
+	// PeakBufferedUsers is the assembly high-water mark inherited from
+	// the underlying ScanTraces — at most one multi-block user per
+	// segment goroutine.
+	PeakBufferedUsers int64
+}
+
+// Compact streams the contents of s into w, merging each user's
+// fragmented blocks — the typical product of a streaming sink — into
+// contiguous, time-sorted, deduplicated runs. It is built on the same
+// scan→write plumbing as store-native mechanism runs: segments are
+// fanned across the context's internal/par worker budget (serial
+// without one), each user's blocks are gathered and handed straight to
+// w.Add, and at no point is more than one user's fragments per segment
+// goroutine held in memory — however interleaved the input. The caller
+// owns both stores: w is left open so the caller can inspect or extend
+// it before Close.
+func Compact(ctx context.Context, s *Store, w *Writer) (CompactStats, error) {
+	var scan ScanStats
+	err := s.ScanTraces(ctx, ScanOptions{NoCache: true, Stats: &scan}, func(tr *trace.Trace) error {
+		if err := w.Add(tr); err != nil {
+			return fmt.Errorf("store: compact user %q: %w", tr.User, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return CompactStats{}, err
+	}
+	st := CompactStats{
+		Points:            scan.Points,
+		BlocksIn:          scan.BlocksTotal,
+		PeakBufferedUsers: scan.PeakBufferedUsers,
+	}
+	w.mu.Lock()
+	st.Users = len(w.users)
+	w.mu.Unlock()
+	return st, nil
+}

@@ -2,11 +2,29 @@ package store
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"mobipriv/internal/trace"
 	"mobipriv/internal/traceio"
 )
+
+// SamePath reports whether a and b name the same file or directory —
+// the guard the streaming store-to-store paths (mobianon store-native,
+// mobistore compact) use to refuse in-place rewrites, which would
+// unlink the input's segments before reading them. Falls back to
+// lexical comparison when either path does not exist yet.
+func SamePath(a, b string) bool {
+	ai, errA := os.Stat(a)
+	bi, errB := os.Stat(b)
+	if errA == nil && errB == nil {
+		return os.SameFile(ai, bi)
+	}
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	return errA == nil && errB == nil && aa == bb
+}
 
 // ReadDataset loads a dataset from any supported path: an ".mstore"
 // store directory via Open/Load, or CSV/JSONL/PLT text (optionally

@@ -231,6 +231,12 @@ type ScanStats struct {
 	BlocksDecoded int64 // read from disk and decoded
 	CacheHits     int64 // served from the LRU block cache
 	Points        int64 // points yielded to fn after point filters
+
+	// PeakBufferedUsers is the high-water mark of multi-block users
+	// being assembled at once — ScanTraces only, at most one per
+	// segment goroutine; a plain Scan (and any single-block user)
+	// buffers nothing and leaves it 0.
+	PeakBufferedUsers int64
 }
 
 // ScanFunc receives one block-run of points: the user and a time-sorted

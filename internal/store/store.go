@@ -38,6 +38,24 @@
 // microsecond-aligned and whose coordinates are multiples of 1e-7°
 // reproduces the dataset exactly.
 //
+// # Invariants
+//
+// Three invariants hold for every store the Writer accepts, and every
+// reader relies on them:
+//
+//   - Shard pinning: a user's blocks all live in the single segment
+//     selected by splitmix64(fnv64a(user)) mod shards, so per-user
+//     reads touch one file and trace assembly (ScanTraces, Load) never
+//     has to coordinate across segments.
+//   - First-wins microsecond dedup: observations that collapse onto the
+//     same on-disk microsecond keep only the first, both within a block
+//     (Writer) and when fragments are merged (Load, ScanTraces). Any
+//     store the Writer accepted therefore always loads into valid
+//     strictly-increasing traces.
+//   - Sorted blocks: each block's points are time-sorted at encode
+//     time, so block time ranges are tight and single-block traces
+//     need no re-sort on read.
+//
 // The footer records, per block: byte offset and length, a CRC-32
 // (IEEE) of the block bytes, the user, the point count, the time range
 // and the bounding box. Readers prune scans on these stats — a block
@@ -50,8 +68,11 @@
 // Writer builds a store from any point source (a traceio decoder, a
 // trace.Dataset, or a live stream) via Add/Append; Open returns a Store
 // whose Scan fans segments across internal/par workers with bbox, time
-// and user filters plus an LRU block cache, and whose Load materializes
-// a full trace.Dataset for compatibility with the batch pipeline.
+// and user filters plus an LRU block cache, whose ScanTraces streams
+// whole assembled traces with bounded buffering (the substrate of
+// store-native mechanism runs and streaming compaction — see Compact),
+// and whose Load materializes a full trace.Dataset for compatibility
+// with the batch pipeline.
 package store
 
 import (

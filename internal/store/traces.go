@@ -1,0 +1,145 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"mobipriv/internal/par"
+	"mobipriv/internal/trace"
+)
+
+// TraceScanFunc receives one complete, validated trace assembled from
+// all of a user's blocks. The trace is freshly built and owned by the
+// callee.
+type TraceScanFunc func(tr *trace.Trace) error
+
+// ScanTraces streams whole traces out of the store: each user's blocks
+// — however fragmented by streaming appends — are merged, time-sorted
+// and microsecond-deduplicated (first observation wins, exactly as
+// Load), then delivered to fn as one validated trace.
+//
+// Unlike Load, ScanTraces never materializes the dataset. Each segment
+// goroutine gathers one user at a time: the footer indexes every
+// user's blocks up front, so the goroutine reads exactly that user's
+// blocks, emits the trace, and releases the memory before moving on.
+// Peak memory is therefore one user's fragments per segment goroutine
+// regardless of how interleaved the segment is; the high-water count
+// of concurrently buffered multi-block users lands in
+// ScanStats.PeakBufferedUsers (bounded by the goroutine count, and 0
+// for a compacted store where every user is a single block). The cost
+// of the bound is read order: an interleaved segment is read per-user
+// rather than sequentially, while a compacted or Add-built segment
+// (contiguous user runs) is still read nearly front to back.
+//
+// Segments are fanned across internal/par workers like Scan, so fn is
+// called concurrently (one goroutine per segment at most) and must be
+// safe for that. Within a segment, users are delivered in the file
+// order of their first blocks. Users whose every point is removed by
+// the bbox/time filters are not delivered.
+func (s *Store) ScanTraces(ctx context.Context, opts ScanOptions, fn TraceScanFunc) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if opts.Workers != 0 {
+		ctx = par.WithWorkers(ctx, opts.Workers)
+	}
+	var users map[string]bool
+	if opts.Users != nil {
+		users = make(map[string]bool, len(opts.Users))
+		for _, u := range opts.Users {
+			users[u] = true
+		}
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &ScanStats{}
+	}
+	// buffered counts users being assembled across all segment
+	// goroutines; its high-water mark lands in stats.PeakBufferedUsers.
+	var buffered int64
+	return par.Map(ctx, len(s.segs), func(i int) error {
+		seg := s.segs[i]
+		// Group each user's blocks from the footer, preserving the file
+		// order of first appearance.
+		order := make([]string, 0, len(seg.entries))
+		blocks := make(map[string][]int, len(seg.entries))
+		for bi := range seg.entries {
+			u := seg.entries[bi].user
+			if len(blocks[u]) == 0 {
+				order = append(order, u)
+			}
+			blocks[u] = append(blocks[u], bi)
+		}
+		// readBlock prunes or decodes one block and applies the exact
+		// point filters.
+		readBlock := func(bi int) ([]trace.Point, error) {
+			e := &seg.entries[bi]
+			atomic.AddInt64(&stats.BlocksTotal, 1)
+			if s.pruned(e, users, opts) {
+				atomic.AddInt64(&stats.BlocksPruned, 1)
+				return nil, nil
+			}
+			user, raw, err := s.block(i, bi, stats, opts.NoCache)
+			if err != nil {
+				return nil, fmt.Errorf("segment %s block %d: %w", seg.file, bi, err)
+			}
+			if user != e.user {
+				return nil, corruptf("segment %s block %d: footer user %q, block user %q", seg.file, bi, e.user, user)
+			}
+			return filterPoints(raw, opts), nil
+		}
+		emit := func(user string, pts []trace.Point) error {
+			tr, err := trace.New(user, pts)
+			if err != nil {
+				return fmt.Errorf("store: user %q: %w", user, err)
+			}
+			atomic.AddInt64(&stats.Points, int64(tr.Len()))
+			return fn(tr)
+		}
+		for _, user := range order {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			idxs := blocks[user]
+			if len(idxs) == 1 {
+				// Single-block fast path: block points are already
+				// sorted and deduped by the Writer, and trace.New
+				// copies, so the (possibly cache-shared) slice is
+				// never mutated and nothing is buffered.
+				pts, err := readBlock(idxs[0])
+				if err != nil {
+					return err
+				}
+				if len(pts) > 0 {
+					if err := emit(user, pts); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			par.PeakAdd(&buffered, &stats.PeakBufferedUsers)
+			var buf []trace.Point
+			for _, bi := range idxs {
+				pts, err := readBlock(bi)
+				if err != nil {
+					atomic.AddInt64(&buffered, -1)
+					return err
+				}
+				buf = append(buf, pts...)
+			}
+			atomic.AddInt64(&buffered, -1)
+			if len(buf) == 0 {
+				continue
+			}
+			sort.SliceStable(buf, func(a, b int) bool { return buf[a].Time.Before(buf[b].Time) })
+			if buf = dedupeMicros(buf); len(buf) > 0 {
+				if err := emit(user, buf); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mobipriv/internal/trace"
+)
+
+// collectTraces drains ScanTraces into a dataset for comparison.
+func collectTraces(t *testing.T, s *Store, opts ScanOptions) (*trace.Dataset, ScanStats) {
+	t.Helper()
+	var (
+		mu     sync.Mutex
+		traces []*trace.Trace
+		stats  ScanStats
+	)
+	opts.Stats = &stats
+	err := s.ScanTraces(context.Background(), opts, func(tr *trace.Trace) error {
+		mu.Lock()
+		traces = append(traces, tr)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanTraces: %v", err)
+	}
+	d, err := trace.NewDataset(traces)
+	if err != nil {
+		t.Fatalf("assemble dataset: %v", err)
+	}
+	return d, stats
+}
+
+// fragmentedStore builds a store the way a streaming sink would: users
+// interleaved, many tiny appends each, so every user is spread over
+// several blocks of their shard.
+func fragmentedStore(t *testing.T, users, pointsEach, blockPoints, shards int) (*Store, *trace.Dataset) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "frag.mstore")
+	w, err := Create(dir, Options{Shards: shards, BlockPoints: blockPoints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2025, 6, 1, 6, 0, 0, 0, time.UTC)
+	var traces []*trace.Trace
+	pts := make([][]trace.Point, users)
+	for u := range pts {
+		pts[u] = make([]trace.Point, pointsEach)
+		for i := range pts[u] {
+			pts[u][i] = trace.P(
+				float64(100000*u+10*i)/CoordScale,
+				float64(2000000+30*i)/CoordScale,
+				base.Add(time.Duration(u*7+i*60)*time.Second),
+			)
+		}
+	}
+	// Interleave: one point per user per round.
+	for i := 0; i < pointsEach; i++ {
+		for u := 0; u < users; u++ {
+			if err := w.Append(fmt.Sprintf("u%02d", u), pts[u][i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for u := range pts {
+		traces = append(traces, trace.MustNew(fmt.Sprintf("u%02d", u), pts[u]))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, trace.MustNewDataset(traces)
+}
+
+// TestScanTracesMatchesLoad pins that trace-by-trace scanning over a
+// heavily fragmented multi-shard store assembles exactly what Load
+// materializes, while buffering only in-flight users.
+func TestScanTracesMatchesLoad(t *testing.T) {
+	s, want := fragmentedStore(t, 12, 9, 2, 4)
+	got, stats := collectTraces(t, s, ScanOptions{Workers: 4, NoCache: true})
+	sameDataset(t, want, got)
+	if stats.PeakBufferedUsers == 0 {
+		t.Errorf("interleaved store assembled without buffering: %+v", stats)
+	}
+	// The bound that makes larger-than-RAM runs possible: one user
+	// being assembled per segment goroutine (4 workers), however
+	// interleaved the segments are.
+	if stats.PeakBufferedUsers > 4 {
+		t.Errorf("PeakBufferedUsers = %d > 4 segment goroutines", stats.PeakBufferedUsers)
+	}
+	loaded, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDataset(t, loaded, got)
+}
+
+// TestScanTracesCompactedFastPath pins that a compacted store (one
+// block per user) is streamed without any fragment buffering.
+func TestScanTracesCompactedFastPath(t *testing.T) {
+	d := exactDataset(t, 10, 20)
+	s := buildStore(t, d, Options{Shards: 4})
+	got, stats := collectTraces(t, s, ScanOptions{Workers: 2})
+	sameDataset(t, d, got)
+	if stats.PeakBufferedUsers != 0 {
+		t.Errorf("compacted store buffered %d users, want 0", stats.PeakBufferedUsers)
+	}
+}
+
+// TestScanTracesFilters checks user pruning and exact time filtering at
+// the trace level.
+func TestScanTracesFilters(t *testing.T) {
+	s, want := fragmentedStore(t, 8, 6, 2, 2)
+
+	t.Run("user filter", func(t *testing.T) {
+		got, stats := collectTraces(t, s, ScanOptions{Users: []string{"u03"}})
+		if got.Len() != 1 || got.ByUser("u03") == nil {
+			t.Fatalf("got %v, want only u03", got.Users())
+		}
+		sameDataset(t, trace.MustNewDataset([]*trace.Trace{want.ByUser("u03")}), got)
+		if stats.BlocksPruned == 0 {
+			t.Errorf("no blocks pruned: %+v", stats)
+		}
+	})
+
+	t.Run("time filter is exact", func(t *testing.T) {
+		from := want.ByUser("u00").Points[2].Time
+		got, _ := collectTraces(t, s, ScanOptions{From: from})
+		for _, tr := range got.Traces() {
+			for _, p := range tr.Points {
+				if p.Time.Before(from) {
+					t.Fatalf("user %s point %v before filter %v", tr.User, p.Time, from)
+				}
+			}
+		}
+		// Count must match a brute-force filter of the source.
+		wantPts := 0
+		for _, tr := range want.Traces() {
+			for _, p := range tr.Points {
+				if !p.Time.Before(from) {
+					wantPts++
+				}
+			}
+		}
+		if got.TotalPoints() != wantPts {
+			t.Errorf("filtered scan yielded %d points, want %d", got.TotalPoints(), wantPts)
+		}
+	})
+}
+
+// TestScanTracesPropagatesError pins that a callback error aborts the
+// scan.
+func TestScanTracesPropagatesError(t *testing.T) {
+	s, _ := fragmentedStore(t, 4, 4, 2, 2)
+	boom := errors.New("boom")
+	err := s.ScanTraces(context.Background(), ScanOptions{}, func(*trace.Trace) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestCompactStreams pins the streaming compaction path: a fragmented
+// multi-shard store compacts to one block per user, content-identical
+// on Load, with the assembly high-water mark reported.
+func TestCompactStreams(t *testing.T) {
+	s, want := fragmentedStore(t, 10, 8, 2, 4)
+	outDir := filepath.Join(t.TempDir(), "tidy.mstore")
+	w, err := Create(outDir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Compact(context.Background(), s, w)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != want.Len() || st.Points != int64(want.TotalPoints()) {
+		t.Errorf("stats = %+v, want %d users, %d points", st, want.Len(), want.TotalPoints())
+	}
+	if st.PeakBufferedUsers == 0 {
+		t.Errorf("fragmented compact reported no buffering: %+v", st)
+	}
+	// Compact without a context worker budget scans serially: exactly
+	// one user's fragments in memory at any moment.
+	if st.PeakBufferedUsers != 1 {
+		t.Errorf("serial compact buffered %d users at peak, want 1", st.PeakBufferedUsers)
+	}
+	c, err := Open(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	blocks := 0
+	for _, si := range c.Manifest().Segments {
+		blocks += si.Blocks
+	}
+	if blocks != want.Len() {
+		t.Errorf("compacted store has %d blocks, want one per user (%d)", blocks, want.Len())
+	}
+	got, err := c.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDataset(t, want, got)
+}
+
+// TestAddFlushesWholeTrace pins the Writer memory bound store-native
+// runs rely on: after Add returns, nothing of the trace lingers in the
+// per-user buffers (the sub-block tail included).
+func TestAddFlushesWholeTrace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "addflush.mstore")
+	w, err := Create(dir, Options{Shards: 2, BlockPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2025, 6, 2, 0, 0, 0, 0, time.UTC)
+	pts := make([]trace.Point, 10) // 2 full blocks + 2-point tail
+	for i := range pts {
+		pts[i] = trace.P(1, float64(i)/1e4, base.Add(time.Duration(i)*time.Second))
+	}
+	if err := w.Add(trace.MustNew("tail", pts)); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.bufs) != 0 {
+		t.Fatalf("Add left %d users buffered", len(w.bufs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	d, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := d.ByUser("tail")
+	if tr == nil || tr.Len() != len(pts) {
+		t.Fatalf("loaded %v, want 10-point tail", tr)
+	}
+}

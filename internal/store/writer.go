@@ -110,7 +110,11 @@ func (w *Writer) abort() {
 
 // Add writes one whole trace and seals its user: a second Add (or a
 // later Append) for the same user fails with ErrDuplicateUser. The
-// trace must be valid (trace.Trace invariant).
+// trace must be valid (trace.Trace invariant). Because the trace is
+// complete, Add flushes it to the user's shard immediately — including
+// the sub-block tail — so a store built from millions of Adds (a
+// store-native mechanism run, a compaction) holds no per-user residue
+// until Close.
 func (w *Writer) Add(tr *trace.Trace) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -121,6 +125,9 @@ func (w *Writer) Add(tr *trace.Trace) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateUser, tr.User)
 	}
 	if err := w.append(tr.User, tr.Points); err != nil {
+		return err
+	}
+	if err := w.flushUser(tr.User, len(w.bufs[tr.User])); err != nil {
 		return err
 	}
 	w.sealed[tr.User] = true

@@ -2,7 +2,7 @@
 // library reproducing Primault, Ben Mokhtar & Brunie, "Privacy-preserving
 // Publication of Mobility Data with High Utility" (ICDCS 2015).
 //
-// The API has four pillars:
+// The API has five pillars:
 //
 //   - Mechanism: every anonymization — the paper's pipeline, the
 //     smoothing-only PROMESSE variant, and the geo-indistinguishability
@@ -27,6 +27,20 @@
 //     sharded engine in internal/stream and the mobiserve service
 //     apply them to live traffic with bounded per-user memory,
 //     matching the batch path on replay (byte-identical for geoi).
+//   - Store-native runs: mechanisms whose per-trace work is
+//     independent expose a PerTrace capability (AsPerTrace,
+//     PerTraceMechanisms); Runner.RunStore applies them end-to-end
+//     over on-disk .mstore stores (internal/store) trace-by-trace, so
+//     batch anonymization of datasets larger than RAM runs with
+//     memory bounded by the worker count, and Load()s identical to
+//     the in-memory path for the same spec and seed.
+//
+// The determinism contract spans all pillars: randomness always
+// derives from (seed, user) — never from trace order, worker count, or
+// shard assignment — so batch, parallel, streaming-replay and
+// store-native runs of the same spec and seed publish the same points.
+// docs/ARCHITECTURE.md maps the layers; docs/MSTORE.md specifies the
+// on-disk format; docs/CLI.md documents the six commands.
 //
 // Quickstart:
 //

@@ -14,6 +14,10 @@ import (
 // geo-indistinguishability perturbation) fan out across the pool while
 // producing output byte-identical to a serial run.
 //
+// Run applies a mechanism to an in-memory dataset; RunStore applies a
+// per-trace-capable mechanism (AsPerTrace) end-to-end over on-disk
+// .mstore stores with memory independent of the dataset size.
+//
 // The zero Runner is not valid; use NewRunner.
 type Runner struct {
 	workers int

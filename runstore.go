@@ -1,0 +1,168 @@
+package mobipriv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mobipriv/internal/par"
+	"mobipriv/internal/store"
+	"mobipriv/internal/trace"
+)
+
+// ErrNotPerTrace reports a mechanism that cannot run store-natively
+// because it needs the whole dataset at once (pipeline, w4m). Callers
+// should fall back to Load + Run.
+var ErrNotPerTrace = errors.New("mobipriv: mechanism cannot run per-trace")
+
+// StoreRunStats reports what a store-native run did — the observable
+// proof that the dataset never existed in memory.
+type StoreRunStats struct {
+	// Traces and Points count the input traces assembled from the
+	// store and fed to the mechanism.
+	Traces int64
+	Points int64
+	// OutTraces and OutPoints count what was written to the output
+	// store.
+	OutTraces int64
+	OutPoints int64
+	// Dropped lists the users the mechanism withheld, sorted — the
+	// union of the per-trace drops that a batch Run would report in its
+	// StageReports.
+	Dropped []string
+	// BlocksTotal and BlocksPruned are the input scan's block counters
+	// (pruning applies when the run is restricted by ScanOptions-style
+	// filters; a full run prunes nothing).
+	BlocksTotal  int64
+	BlocksPruned int64
+	// PeakBufferedUsers is the high-water mark of multi-block users
+	// being assembled from input fragments at once — at most one per
+	// segment-scanning goroutine (see store.ScanTraces), and 0 when
+	// the input store is compacted.
+	PeakBufferedUsers int64
+	// PeakInFlight is the high-water mark of assembled traces alive in
+	// the worker pipeline at once — bounded by 3×workers (one being
+	// processed plus one queued per worker, plus one held by each
+	// segment-scanning goroutine while it waits for a queue slot),
+	// never by the dataset.
+	PeakInFlight int64
+}
+
+// RunStore applies the mechanism to every trace of an input store and
+// streams the results into an output store without ever materializing
+// the dataset: input segments are scanned trace-by-trace (fragments
+// merged with bounded buffering), the per-trace mechanism work is
+// fanned across this Runner's worker pool, and each anonymized trace is
+// written to out the moment it is ready. Peak memory is
+// O(workers × largest trace), independent of the store size — the
+// larger-than-RAM batch path.
+//
+// The mechanism must expose the per-trace capability (AsPerTrace);
+// otherwise RunStore fails with ErrNotPerTrace and the caller should
+// fall back to in.Load + Run. Determinism matches the in-memory path:
+// per-trace RNGs derive from (seed, user), so the output store — while
+// its block order depends on worker scheduling — Load()s identical to
+// the batch Runner's result for the same spec and seed, whatever the
+// worker count.
+//
+// RunStore neither closes in nor out: the caller finalizes the output
+// store with out.Close.
+func (r *Runner) RunStore(ctx context.Context, in *store.Store, out *store.Writer, m Mechanism) (*StoreRunStats, error) {
+	if m == nil {
+		return nil, errors.New("mobipriv: nil mechanism")
+	}
+	if in == nil || out == nil {
+		return nil, errors.New("mobipriv: RunStore needs an input store and an output writer")
+	}
+	fn, ok := AsPerTrace(m)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (per-trace mechanisms: %v)", ErrNotPerTrace, m.Name(), PerTraceMechanisms())
+	}
+	workers := r.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	stats := &StoreRunStats{}
+	var (
+		scanStats store.ScanStats
+		inFlight  int64
+		mu        sync.Mutex
+		firstErr  error
+		dropped   []string
+	)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	// A bounded channel is the whole memory story: the scan blocks once
+	// every worker has a trace in hand and one waiting, so the input
+	// side can never race ahead of the mechanism.
+	ch := make(chan *trace.Trace, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tr := range ch {
+				res, err := fn(cctx, tr)
+				switch {
+				case err != nil:
+					fail(fmt.Errorf("mobipriv: %s: user %q: %w", m.Name(), tr.User, err))
+				case res == nil:
+					mu.Lock()
+					dropped = append(dropped, tr.User)
+					mu.Unlock()
+				default:
+					if err := out.Add(res); err != nil {
+						fail(err)
+					} else {
+						atomic.AddInt64(&stats.OutTraces, 1)
+						atomic.AddInt64(&stats.OutPoints, int64(res.Len()))
+					}
+				}
+				atomic.AddInt64(&inFlight, -1)
+			}
+		}()
+	}
+
+	scanErr := in.ScanTraces(cctx, store.ScanOptions{Workers: workers, NoCache: true, Stats: &scanStats},
+		func(tr *trace.Trace) error {
+			atomic.AddInt64(&stats.Traces, 1)
+			atomic.AddInt64(&stats.Points, int64(tr.Len()))
+			par.PeakAdd(&inFlight, &stats.PeakInFlight)
+			select {
+			case ch <- tr:
+				return nil
+			case <-cctx.Done():
+				atomic.AddInt64(&inFlight, -1)
+				return cctx.Err()
+			}
+		})
+	close(ch)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Strings(dropped)
+	stats.Dropped = dropped
+	stats.BlocksTotal = scanStats.BlocksTotal
+	stats.BlocksPruned = scanStats.BlocksPruned
+	stats.PeakBufferedUsers = scanStats.PeakBufferedUsers
+	return stats, nil
+}

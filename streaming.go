@@ -76,6 +76,10 @@ type streamable struct {
 
 func (s streamable) Streaming() StreamFactory { return s.factory }
 
+// Unwrap lets the other capability probes (AsPerTrace) see through
+// this layer.
+func (s streamable) Unwrap() Mechanism { return s.Mechanism }
+
 // The built-in streaming factories bridge to the internal adapters. The
 // internal stream.Mechanism interface is structurally identical to
 // StreamMechanism (Point aliases trace.Point), so the values cross the
