@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"mobipriv"
+	"mobipriv/internal/cliutil"
 	"mobipriv/internal/store"
 	"mobipriv/internal/traceio"
 )
@@ -60,12 +61,20 @@ func run(args []string, stdout io.Writer) error {
 		noSwap    = fs.Bool("no-swap", false, "disable identity swapping (pipeline)")
 		noSupp    = fs.Bool("no-suppress", false, "disable in-zone suppression (pipeline)")
 		pseudonym = fs.String("pseudonym-prefix", "p", "pseudonym prefix (pipeline; empty keeps labels)")
+		bbox      = fs.String("bbox", "", "anonymize only points inside minLat,minLng,maxLat,maxLng (store-native runs)")
+		from      = fs.String("from", "", "anonymize only points at or after this time (store-native runs)")
+		to        = fs.String("to", "", "anonymize only points at or before this time (store-native runs)")
+		usersFlag = fs.String("users", "", "anonymize only these comma-separated users (store-native runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	filters, err := cliutil.ScanFilters(*bbox, *from, *to, *usersFlag)
+	if err != nil {
+		return err
 	}
 
 	// A bare mechanism name takes its parameters from the legacy flags;
@@ -101,7 +110,10 @@ func run(args []string, stdout io.Writer) error {
 	// mechanisms (pipeline, w4m) fall through to the in-memory path.
 	if _, perTrace := mobipriv.AsPerTrace(m); perTrace &&
 		strings.HasSuffix(*in, ".mstore") && strings.HasSuffix(*out, ".mstore") {
-		return runStoreNative(*in, *out, m, runner)
+		return runStoreNative(*in, *out, m, runner, filters)
+	}
+	if cliutil.HasFilters(filters) {
+		return fmt.Errorf("-bbox/-from/-to/-users need a store-native run (.mstore in and out, per-trace mechanism); filter text inputs with mobistore instead")
 	}
 
 	d, err := store.ReadDataset(context.Background(), *in)
@@ -139,9 +151,12 @@ func run(args []string, stdout io.Writer) error {
 	return traceio.WriteCSV(w, published)
 }
 
-// runStoreNative anonymizes store-to-store via Runner.RunStore: the
-// larger-than-RAM path, memory bounded by workers × largest trace.
-func runStoreNative(in, out string, m mobipriv.Mechanism, runner *mobipriv.Runner) error {
+// runStoreNative anonymizes store-to-store via Runner.RunStoreWith:
+// the larger-than-RAM path, memory bounded by workers × largest trace.
+// The bbox/time/user filters restrict the input scan with footer
+// pruning, so "anonymize last week, this city" never reads the rest of
+// the store.
+func runStoreNative(in, out string, m mobipriv.Mechanism, runner *mobipriv.Runner, filters store.ScanOptions) error {
 	if store.SamePath(in, out) {
 		// Creating the output would unlink the input's segments before
 		// they are read; a mid-run failure would lose the dataset.
@@ -158,15 +173,16 @@ func runStoreNative(in, out string, m mobipriv.Mechanism, runner *mobipriv.Runne
 	if err != nil {
 		return err
 	}
-	stats, err := runner.RunStore(context.Background(), s, w, m)
+	stats, err := runner.RunStoreWith(context.Background(), s, w, m, filters)
 	if err != nil {
 		return err
 	}
 	if err := w.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%s: store-native: %d traces (%d points) -> %d traces (%d points), %d users dropped, peak %d in flight\n",
-		m.Name(), stats.Traces, stats.Points, stats.OutTraces, stats.OutPoints, len(stats.Dropped), stats.PeakInFlight)
+	fmt.Fprintf(os.Stderr, "%s: store-native: %d traces (%d points) -> %d traces (%d points), %d users dropped, %d/%d blocks pruned, peak %d in flight\n",
+		m.Name(), stats.Traces, stats.Points, stats.OutTraces, stats.OutPoints, len(stats.Dropped),
+		stats.BlocksPruned, stats.BlocksTotal, stats.PeakInFlight)
 	return nil
 }
 

@@ -232,3 +232,50 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStoreNativeFiltered pins the filtered store-native run: the
+// -users filter restricts the output to the selected users, and the
+// filters are refused on paths that cannot prune.
+func TestRunStoreNativeFiltered(t *testing.T) {
+	in := writeInput(t)
+	dir := t.TempDir()
+	inStore := filepath.Join(dir, "in.mstore")
+	f, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := traceio.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteDataset(inStore, d, store.Options{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	user := d.Users()[0]
+
+	outStore := filepath.Join(dir, "filtered.mstore")
+	if err := run([]string{"-in", inStore, "-out", outStore, "-mechanism", "raw", "-users", user}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(outStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.ByUser(user) == nil {
+		t.Fatalf("filtered run produced users %v, want only %q", got.Users(), user)
+	}
+
+	// Filters without a store-native run must be refused, not ignored.
+	if err := run([]string{"-in", in, "-users", user}, &bytes.Buffer{}); err == nil {
+		t.Fatal("filters accepted on the batch path")
+	}
+	if err := run([]string{"-in", inStore, "-out", outStore + "2", "-mechanism", "w4m", "-users", user}, &bytes.Buffer{}); err == nil {
+		t.Fatal("filters accepted for a batch-only mechanism")
+	}
+}

@@ -6,11 +6,21 @@
 // The anonymized dataset is either read from a file (-anon) or produced
 // on the fly by a mechanism from the mobipriv registry (-mechanism).
 //
+// When both inputs are .mstore stores, the evaluation is store-native:
+// the two stores are streamed in lockstep (store.ScanTracesPaired) and
+// folded through mergeable metric accumulators (metrics.EvalStore), so
+// neither dataset is ever resident — memory stays flat however large
+// the stores. The -bbox/-from/-to/-users filters restrict either path
+// to a slice of the data; on stores they prune whole blocks on footer
+// stats without reading them.
+//
 // Usage:
 //
 //	mobieval -orig raw.csv -anon anon.csv
 //	mobieval -orig raw.csv -anon anon.csv -stays stays.csv
 //	mobieval -orig raw.csv -mechanism "promesse(epsilon=200)"
+//	mobieval -orig raw.mstore -anon anon.mstore
+//	mobieval -orig raw.mstore -anon anon.mstore -from 2025-06-01T00:00:00Z -bbox 45.7,4.8,45.8,4.9
 package main
 
 import (
@@ -21,11 +31,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"mobipriv"
 	"mobipriv/internal/attack/poiattack"
+	"mobipriv/internal/cliutil"
 	"mobipriv/internal/metrics"
-	"mobipriv/internal/stats"
 	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
@@ -44,10 +55,15 @@ func run(args []string, stdout io.Writer) error {
 		origPath  = fs.String("orig", "", "original dataset (.csv/.jsonl/.plt[.gz] or .mstore); required")
 		anonPath  = fs.String("anon", "", "anonymized dataset (.csv/.jsonl/.plt[.gz] or .mstore)")
 		mechSpec  = fs.String("mechanism", "", "anonymize -orig on the fly with this registry spec instead of reading -anon")
-		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for on-the-fly anonymization")
-		staysPath = fs.String("stays", "", "ground-truth stays CSV from mobigen (enables the POI attack)")
+		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for scanning and on-the-fly anonymization")
+		staysPath = fs.String("stays", "", "ground-truth stays CSV from mobigen (enables the POI attack; batch path only)")
 		cell      = fs.Float64("cell", 500, "grid cell size in meters for coverage/OD/popularity")
 		queries   = fs.Int("queries", 100, "number of random range queries")
+		seed      = fs.Int64("seed", 1, "seed deriving the range-query centers")
+		bbox      = fs.String("bbox", "", "evaluate only points inside minLat,minLng,maxLat,maxLng")
+		from      = fs.String("from", "", "evaluate only points at or after this time (RFC 3339 or Unix seconds)")
+		to        = fs.String("to", "", "evaluate only points at or before this time (RFC 3339 or Unix seconds)")
+		users     = fs.String("users", "", "evaluate only these comma-separated users")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,9 +74,42 @@ func run(args []string, stdout io.Writer) error {
 	if (*anonPath == "") == (*mechSpec == "") {
 		return errors.New("exactly one of -anon or -mechanism is required")
 	}
+	// Validate explicitly: the zero values of EvalOptions mean "use the
+	// defaults", so a mistyped -cell 0 or -queries 0 must not silently
+	// become 500/100.
+	if *cell <= 0 {
+		return fmt.Errorf("-cell %v must be positive", *cell)
+	}
+	if *queries <= 0 {
+		return fmt.Errorf("-queries %d must be positive", *queries)
+	}
+	filters, err := cliutil.ScanFilters(*bbox, *from, *to, *users)
+	if err != nil {
+		return err
+	}
+	opts := metrics.EvalOptions{CellSize: *cell, Queries: *queries, Seed: *seed}
+
+	// Two native stores and no on-the-fly mechanism: evaluate
+	// store-natively, streaming both stores in lockstep without ever
+	// materializing a dataset.
+	if strings.HasSuffix(*origPath, ".mstore") && strings.HasSuffix(*anonPath, ".mstore") && *mechSpec == "" {
+		if *staysPath != "" {
+			return errors.New("-stays (the POI attack) needs the dataset in memory; evaluate a text export instead (mobistore cat)")
+		}
+		return runStoreNative(*origPath, *anonPath, opts, filters, *workers, stdout)
+	}
+
 	orig, err := store.ReadDataset(context.Background(), *origPath)
 	if err != nil {
 		return fmt.Errorf("original: %w", err)
+	}
+	// Anchor the evaluation grid and query box at the full original
+	// bounds before filtering — the store-native path anchors at the
+	// manifest bounds, so a filtered batch run and a filtered
+	// store-native run of the same data stay comparable cell for cell.
+	opts.Bounds = orig.Bounds()
+	if orig, err = cliutil.FilterDataset(orig, filters); err != nil {
+		return err
 	}
 	var anon *trace.Dataset
 	if *mechSpec != "" {
@@ -72,59 +121,31 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", m.Name(), err)
 		}
-		anon = res.Dataset
+		// Filter the published side too — a mechanism may push points
+		// outside the window or bbox (noise, time distortion), and the
+		// -anon path would filter those when reading its file.
+		anon, err = cliutil.FilterDataset(res.Dataset, filters)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(stdout, "anonymized on the fly with %s (%d users dropped)\n", m.Name(), len(res.DroppedUsers()))
 	} else {
 		anon, err = store.ReadDataset(context.Background(), *anonPath)
 		if err != nil {
 			return fmt.Errorf("anonymized: %w", err)
 		}
+		if anon, err = cliutil.FilterDataset(anon, filters); err != nil {
+			return err
+		}
 	}
 
-	fmt.Fprintf(stdout, "original:   %s\n", orig)
-	fmt.Fprintf(stdout, "anonymized: %s\n\n", anon)
-
-	// Geometry metrics that need matched identifiers degrade gracefully.
-	if dist, err := metrics.DatasetDistortion(orig, anon); err == nil {
-		fmt.Fprintf(stdout, "spatial distortion (pub->orig): %s\n", stats.Summarize(dist))
-	} else {
-		fmt.Fprintf(stdout, "spatial distortion: skipped (%v)\n", err)
-	}
-	if comp, err := metrics.DatasetCompleteness(orig, anon); err == nil {
-		fmt.Fprintf(stdout, "completeness (orig->pub):       %s\n", stats.Summarize(comp))
-	}
-
-	cov, err := metrics.Coverage(orig, anon, *cell)
+	report, err := metrics.EvalDataset(orig, anon, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "coverage @%.0fm: P=%.3f R=%.3f F1=%.3f (%d->%d cells)\n",
-		*cell, cov.Precision, cov.Recall, cov.F1, cov.OrigCells, cov.AnonCells)
-
-	lens, err := metrics.TripLengths(orig, anon)
-	if err != nil {
+	if err := report.WriteText(stdout); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "trip lengths: mean %.0f -> %.0f m (rel err %.3f), decile err %.3f\n",
-		lens.OrigMean, lens.AnonMean, lens.MeanRelError, lens.DecileError)
-
-	od, err := metrics.ODFlows(orig, anon, *cell)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "OD flows @%.0fm: accuracy %.3f (%d -> %d distinct pairs)\n",
-		*cell, od.Accuracy, od.OrigOD, od.AnonOD)
-
-	if tau, err := metrics.PopularCellsTau(orig, anon, *cell, 20); err == nil {
-		fmt.Fprintf(stdout, "popular cells (top 20): kendall tau %.3f\n", tau)
-	}
-
-	rq, err := metrics.RangeQueryError(orig, anon, *queries, *cell, 1)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "range queries (%d @%.0fm): mean rel err %.3f, p95 %.3f\n",
-		*queries, *cell, stats.Mean(rq), stats.Quantile(rq, 0.95))
 
 	if *staysPath != "" {
 		stays, err := readStays(*staysPath)
@@ -139,6 +160,36 @@ func run(args []string, stdout io.Writer) error {
 			atk.PerUser, atk.Global)
 	}
 	return nil
+}
+
+// runStoreNative streams the two stores through metrics.EvalStore —
+// the larger-than-RAM evaluation path. It never calls Load.
+func runStoreNative(origPath, anonPath string, opts metrics.EvalOptions, filters store.ScanOptions, workers int, stdout io.Writer) error {
+	orig, err := store.Open(origPath)
+	if err != nil {
+		return fmt.Errorf("original: %w", err)
+	}
+	defer orig.Close()
+	anon, err := store.Open(anonPath)
+	if err != nil {
+		return fmt.Errorf("anonymized: %w", err)
+	}
+	defer anon.Close()
+
+	opts.Scan = filters
+	opts.Scan.Workers = workers
+	report, st, err := metrics.EvalStore(context.Background(), orig, anon, opts)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteText(stdout); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(stdout, "\nstore-native eval: %d traces paired (%d orig-only, %d anon-only users); pruned %d/%d blocks; peak %d users buffered\n",
+		st.Paired, len(st.OnlyOrig), len(st.OnlyAnon),
+		st.Orig.BlocksPruned+st.Anon.BlocksPruned, st.Orig.BlocksTotal+st.Anon.BlocksTotal,
+		st.PeakBufferedUsers)
+	return err
 }
 
 // readStays parses the stays CSV written by mobigen.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -14,6 +15,11 @@ import (
 	"mobipriv/internal/synth"
 	"mobipriv/internal/traceio"
 )
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/mobieval -run TestGoldenReport -args -update
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // fixture writes raw.csv, anon.csv and stays.csv into a temp dir.
 func fixture(t *testing.T) (raw, anon, stays string) {
@@ -128,6 +134,130 @@ func TestRunStoreInputs(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "coverage") {
 		t.Fatalf("missing metrics output:\n%s", out.String())
+	}
+}
+
+// TestGoldenReport pins the full text report over a small committed
+// dataset, so any metric regression — a changed accumulator, a changed
+// query derivation, a changed format — shows up as a readable diff.
+// Regenerate deliberately with -update.
+func TestGoldenReport(t *testing.T) {
+	golden := filepath.Join("testdata", "eval_golden.txt")
+	var out bytes.Buffer
+	err := run([]string{
+		"-orig", filepath.Join("testdata", "orig.csv"),
+		"-anon", filepath.Join("testdata", "anon.csv"),
+		"-queries", "32",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -args -update to create it)", err)
+	}
+	if !bytes.Equal(want, out.Bytes()) {
+		t.Errorf("report drifted from golden:\n--- want\n%s\n--- got\n%s", want, out.Bytes())
+	}
+}
+
+// TestGoldenReportStoreNative pins that the store-native path emits the
+// byte-identical report for the same data (the golden body), plus its
+// stats trailer, without ever loading a dataset.
+func TestGoldenReportStoreNative(t *testing.T) {
+	dir := t.TempDir()
+	toStore := func(name string) string {
+		f, err := os.Open(filepath.Join("testdata", name+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		d, err := traceio.ReadCSV(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".mstore")
+		if err := store.WriteDataset(path, d, store.Options{Shards: 3, BlockPoints: 8}); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-orig", toStore("orig"), "-anon", toStore("anon"), "-queries", "32"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "eval_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, trailer, found := strings.Cut(out.String(), "\n\nstore-native eval: ")
+	if !found {
+		t.Fatalf("store-native stats trailer missing:\n%s", out.String())
+	}
+	if report+"\n" != string(want) {
+		t.Errorf("store-native report differs from golden:\n--- want\n%s\n--- got\n%s", want, report)
+	}
+	if !strings.Contains(trailer, "traces paired") {
+		t.Errorf("trailer = %q", trailer)
+	}
+}
+
+// TestRunFiltered pins that the -users/-from filters restrict both
+// paths to the same slice: the filtered batch report equals the
+// filtered store-native report body.
+func TestRunFiltered(t *testing.T) {
+	args := func(orig, anon string) []string {
+		return []string{
+			"-orig", orig, "-anon", anon,
+			"-queries", "16", "-users", "g01,g02", "-from", "1735725900",
+		}
+	}
+	var batch bytes.Buffer
+	if err := run(args(filepath.Join("testdata", "orig.csv"), filepath.Join("testdata", "anon.csv")), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(batch.String(), "original:   2 traces") {
+		t.Fatalf("user filter not applied:\n%s", batch.String())
+	}
+
+	dir := t.TempDir()
+	toStore := func(name string) string {
+		f, err := os.Open(filepath.Join("testdata", name+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		d, err := traceio.ReadCSV(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".mstore")
+		if err := store.WriteDataset(path, d, store.Options{Shards: 2, BlockPoints: 4}); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	var native bytes.Buffer
+	if err := run(args(toStore("orig"), toStore("anon")), &native); err != nil {
+		t.Fatal(err)
+	}
+	body, _, _ := strings.Cut(native.String(), "\n\nstore-native eval: ")
+	if body+"\n" != batch.String() {
+		t.Errorf("filtered store-native report differs from filtered batch report:\n--- batch\n%s\n--- native\n%s", batch.String(), body)
+	}
+}
+
+// TestStoreNativeRefusesStays pins the explicit error: the POI attack
+// needs a dataset in memory, which the store-native path never builds.
+func TestStoreNativeRefusesStays(t *testing.T) {
+	err := run([]string{"-orig", "a.mstore", "-anon", "b.mstore", "-stays", "s.csv"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-stays") {
+		t.Fatalf("err = %v, want -stays explanation", err)
 	}
 }
 

@@ -27,10 +27,9 @@ import (
 	"io"
 	"os"
 	"strconv"
-	"strings"
 	"time"
 
-	"mobipriv/internal/geo"
+	"mobipriv/internal/cliutil"
 	"mobipriv/internal/par"
 	"mobipriv/internal/store"
 	"mobipriv/internal/trace"
@@ -152,20 +151,11 @@ func runCat(args []string, stdout io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("cat: want exactly one store path")
 	}
-	opts := store.ScanOptions{Workers: 1} // one worker: deterministic output order
-	if *users != "" {
-		opts.Users = strings.Split(*users, ",")
+	opts, err := cliutil.ScanFilters(*bbox, *from, *to, *users)
+	if err != nil {
+		return fmt.Errorf("cat: %w", err)
 	}
-	var err error
-	if opts.BBox, err = parseBBox(*bbox); err != nil {
-		return err
-	}
-	if opts.From, err = parseWhen(*from); err != nil {
-		return fmt.Errorf("cat: -from: %w", err)
-	}
-	if opts.To, err = parseWhen(*to); err != nil {
-		return fmt.Errorf("cat: -to: %w", err)
-	}
+	opts.Workers = 1 // one worker: deterministic output order
 
 	s, err := store.Open(fs.Arg(0))
 	if err != nil {
@@ -255,38 +245,4 @@ func runCompact(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "compacted %s (%d blocks) -> %s (%d blocks), %d users, %d points (peak %d users buffered)\n",
 		*in, st.BlocksIn, *out, outBlocks, st.Users, st.Points, st.PeakBufferedUsers)
 	return nil
-}
-
-// parseBBox parses "minLat,minLng,maxLat,maxLng".
-func parseBBox(s string) (geo.BBox, error) {
-	if s == "" {
-		return geo.BBox{}, nil
-	}
-	parts := strings.Split(s, ",")
-	if len(parts) != 4 {
-		return geo.BBox{}, fmt.Errorf("cat: -bbox wants minLat,minLng,maxLat,maxLng")
-	}
-	vals := make([]float64, 4)
-	for i, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return geo.BBox{}, fmt.Errorf("cat: -bbox component %d: %w", i+1, err)
-		}
-		vals[i] = v
-	}
-	return geo.NewBBox(geo.Point{Lat: vals[0], Lng: vals[1]}, geo.Point{Lat: vals[2], Lng: vals[3]}), nil
-}
-
-// parseWhen parses an RFC 3339 timestamp or Unix seconds.
-func parseWhen(s string) (time.Time, error) {
-	if s == "" {
-		return time.Time{}, nil
-	}
-	if ts, err := time.Parse(time.RFC3339Nano, s); err == nil {
-		return ts, nil
-	}
-	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return time.Unix(secs, 0).UTC(), nil
-	}
-	return time.Time{}, fmt.Errorf("unparseable time %q", s)
 }

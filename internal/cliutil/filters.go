@@ -1,0 +1,125 @@
+// Package cliutil holds the small helpers shared by the command-line
+// tools: parsing the -bbox/-from/-to/-users filter flags into
+// store.ScanOptions and applying the same filter semantics to
+// in-memory datasets, so the batch and store-native paths of mobieval
+// and mobianon select identical subsets.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/store"
+	"mobipriv/internal/trace"
+)
+
+// ParseBBox parses "minLat,minLng,maxLat,maxLng". An empty string
+// yields the empty (match-everything) box.
+func ParseBBox(s string) (geo.BBox, error) {
+	if s == "" {
+		return geo.BBox{}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geo.BBox{}, fmt.Errorf("-bbox wants minLat,minLng,maxLat,maxLng")
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.BBox{}, fmt.Errorf("-bbox component %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return geo.NewBBox(geo.Point{Lat: vals[0], Lng: vals[1]}, geo.Point{Lat: vals[2], Lng: vals[3]}), nil
+}
+
+// ParseWhen parses an RFC 3339 timestamp or Unix seconds; empty means
+// "no bound" (the zero time).
+func ParseWhen(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if ts, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return ts, nil
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(secs, 0).UTC(), nil
+	}
+	return time.Time{}, fmt.Errorf("unparseable time %q", s)
+}
+
+// ParseUsers splits a comma-separated user list; empty means no user
+// filter (nil).
+func ParseUsers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// ScanFilters parses the four filter flags into a store.ScanOptions
+// carrying only the filters (no worker/cache tuning).
+func ScanFilters(bbox, from, to, users string) (store.ScanOptions, error) {
+	var opts store.ScanOptions
+	var err error
+	if opts.BBox, err = ParseBBox(bbox); err != nil {
+		return opts, err
+	}
+	if opts.From, err = ParseWhen(from); err != nil {
+		return opts, fmt.Errorf("-from: %w", err)
+	}
+	if opts.To, err = ParseWhen(to); err != nil {
+		return opts, fmt.Errorf("-to: %w", err)
+	}
+	opts.Users = ParseUsers(users)
+	return opts, nil
+}
+
+// HasFilters reports whether opts carries any bbox/time/user filter.
+func HasFilters(opts store.ScanOptions) bool {
+	return !opts.BBox.IsEmpty() || !opts.From.IsZero() || !opts.To.IsZero() || opts.Users != nil
+}
+
+// FilterDataset applies the ScanOptions filter semantics to an
+// in-memory dataset: keep only the listed users (when set) and, per
+// point, the shared store.ScanOptions.Matches predicate — the exact
+// filter a pruned store scan applies, so a filtered batch run sees the
+// same subset as a filtered store-native run. Traces whose every point
+// is filtered away are dropped.
+func FilterDataset(d *trace.Dataset, opts store.ScanOptions) (*trace.Dataset, error) {
+	if !HasFilters(opts) {
+		return d, nil
+	}
+	var users map[string]bool
+	if opts.Users != nil {
+		users = make(map[string]bool, len(opts.Users))
+		for _, u := range opts.Users {
+			users[u] = true
+		}
+	}
+	var kept []*trace.Trace
+	for _, tr := range d.Traces() {
+		if users != nil && !users[tr.User] {
+			continue
+		}
+		var pts []trace.Point
+		for _, p := range tr.Points {
+			if opts.Matches(p) {
+				pts = append(pts, p)
+			}
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		ftr, err := trace.New(tr.User, pts)
+		if err != nil {
+			return nil, err
+		}
+		kept = append(kept, ftr)
+	}
+	return trace.NewDataset(kept)
+}

@@ -1,0 +1,128 @@
+package cliutil
+
+import (
+	"testing"
+	"time"
+
+	"mobipriv/internal/store"
+	"mobipriv/internal/trace"
+)
+
+func TestParseBBox(t *testing.T) {
+	box, err := ParseBBox("45.7,4.8,45.8,4.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.MinLat != 45.7 || box.MinLng != 4.8 || box.MaxLat != 45.8 || box.MaxLng != 4.9 {
+		t.Fatalf("box = %+v", box)
+	}
+	if box, err := ParseBBox(""); err != nil || !box.IsEmpty() {
+		t.Fatalf("empty bbox: %v, %v", box, err)
+	}
+	// Corners in either order normalize.
+	box, err = ParseBBox("45.8,4.9,45.7,4.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.MinLat != 45.7 || box.MaxLat != 45.8 {
+		t.Fatalf("unnormalized box: %+v", box)
+	}
+	for _, bad := range []string{"1,2,3", "a,b,c,d", "1,2,3,4,5"} {
+		if _, err := ParseBBox(bad); err == nil {
+			t.Errorf("ParseBBox(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseWhen(t *testing.T) {
+	ts, err := ParseWhen("2025-06-01T08:00:00Z")
+	if err != nil || ts.UTC() != time.Date(2025, 6, 1, 8, 0, 0, 0, time.UTC) {
+		t.Fatalf("rfc3339: %v, %v", ts, err)
+	}
+	ts, err = ParseWhen("1735725600")
+	if err != nil || ts.Unix() != 1735725600 {
+		t.Fatalf("unix: %v, %v", ts, err)
+	}
+	if ts, err := ParseWhen(""); err != nil || !ts.IsZero() {
+		t.Fatalf("empty: %v, %v", ts, err)
+	}
+	if _, err := ParseWhen("yesterday"); err == nil {
+		t.Error("garbage time accepted")
+	}
+}
+
+func TestScanFilters(t *testing.T) {
+	opts, err := ScanFilters("1,2,3,4", "100", "200", "a,b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasFilters(opts) {
+		t.Fatal("filters not detected")
+	}
+	if len(opts.Users) != 2 || opts.From.Unix() != 100 || opts.To.Unix() != 200 || opts.BBox.IsEmpty() {
+		t.Fatalf("opts = %+v", opts)
+	}
+	empty, err := ScanFilters("", "", "", "")
+	if err != nil || HasFilters(empty) {
+		t.Fatalf("empty filters: %+v, %v", empty, err)
+	}
+	if _, err := ScanFilters("bad", "", "", ""); err == nil {
+		t.Error("bad bbox accepted")
+	}
+	if _, err := ScanFilters("", "bad", "", ""); err == nil {
+		t.Error("bad from accepted")
+	}
+	if _, err := ScanFilters("", "", "bad", ""); err == nil {
+		t.Error("bad to accepted")
+	}
+}
+
+func TestFilterDataset(t *testing.T) {
+	base := time.Date(2025, 6, 1, 8, 0, 0, 0, time.UTC)
+	mk := func(user string, lat float64, n int) *trace.Trace {
+		pts := make([]trace.Point, n)
+		for i := range pts {
+			pts[i] = trace.P(lat, 4.8+float64(i)/1e3, base.Add(time.Duration(i)*time.Minute))
+		}
+		return trace.MustNew(user, pts)
+	}
+	d := trace.MustNewDataset([]*trace.Trace{
+		mk("in", 45.75, 10),
+		mk("out", 48.00, 10),
+	})
+
+	// No filters: the same dataset comes straight back.
+	same, err := FilterDataset(d, store.ScanOptions{})
+	if err != nil || same != d {
+		t.Fatalf("no-op filter: %v, %v", same, err)
+	}
+
+	// Time window is inclusive on both ends, like the store scan.
+	from, to := base.Add(2*time.Minute), base.Add(5*time.Minute)
+	got, err := FilterDataset(d, store.ScanOptions{From: from, To: to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := got.ByUser("in"); tr == nil || tr.Len() != 4 {
+		t.Fatalf("time filter kept %v, want 4 inclusive points", got.ByUser("in"))
+	}
+
+	// A bbox that excludes user "out" entirely drops the trace.
+	box, _ := ParseBBox("45.0,4.0,46.0,5.0")
+	got, err = FilterDataset(d, store.ScanOptions{BBox: box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.ByUser("out") != nil {
+		t.Fatalf("bbox filter kept %v", got.Users())
+	}
+
+	// User filter.
+	got, err = FilterDataset(d, store.ScanOptions{Users: []string{"out"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.ByUser("out") == nil {
+		t.Fatalf("user filter kept %v", got.Users())
+	}
+}

@@ -1,0 +1,293 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/trace"
+)
+
+// randomPair builds a deterministic pseudo-random (orig, anon) pair.
+func randomPair(rnd *rand.Rand, user string) (*trace.Trace, *trace.Trace) {
+	base := time.Date(2025, 6, 1, 8, 0, 0, 0, time.UTC)
+	mk := func(dy float64, n int) *trace.Trace {
+		pts := make([]trace.Point, n)
+		for i := range pts {
+			pts[i] = trace.Point{
+				Point: geo.Offset(origin, float64(i)*80+rnd.Float64()*20, dy+rnd.Float64()*30),
+				Time:  base.Add(time.Duration(i) * time.Minute),
+			}
+		}
+		return trace.MustNew(user, pts)
+	}
+	n := 4 + rnd.Intn(20)
+	return mk(0, n), mk(100+rnd.Float64()*400, 3+rnd.Intn(20))
+}
+
+// TestAccMergeOrderInvariance is the determinism contract test: feeding
+// the same pairs through 1, 4 or 16 accumulators partitioned arbitrarily
+// and merged in arbitrary order must reproduce the serial result
+// bit-for-bit, for every metric at once (via EvalAcc).
+func TestAccMergeOrderInvariance(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	type pair struct{ o, a *trace.Trace }
+	var pairs []pair
+	for u := 0; u < 40; u++ {
+		o, a := randomPair(rnd, fmt.Sprintf("u%02d", u))
+		switch u % 7 {
+		case 5: // orig-only user
+			pairs = append(pairs, pair{o, nil})
+		case 6: // anon-only user
+			pairs = append(pairs, pair{nil, a})
+		default:
+			pairs = append(pairs, pair{o, a})
+		}
+	}
+	opts := EvalOptions{Bounds: geo.NewBBox(geo.Offset(origin, -500, -500), geo.Offset(origin, 3000, 3000)), Queries: 20}
+
+	serial, err := NewEvalAcc(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if err := serial.AddPair(p.o, p.a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := serial.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("partitions=%d", workers), func(t *testing.T) {
+			accs := make([]*EvalAcc, workers)
+			for i := range accs {
+				if accs[i], err = NewEvalAcc(opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			perm := rnd.Perm(len(pairs))
+			for i, pi := range perm {
+				if err := accs[i%workers].AddPair(pairs[pi].o, pairs[pi].a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			root := accs[rnd.Intn(workers)]
+			for _, i := range rnd.Perm(workers) {
+				if accs[i] != root {
+					root.Merge(accs[i])
+				}
+			}
+			got, err := root.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("merged report differs from serial:\nwant %+v\ngot  %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestDistortionAccMatchesSamples pins the accumulator's exact fields
+// (count, mean, min, max) against the pooled-sample implementation, and
+// its histogram quantiles to the documented resolution.
+func TestDistortionAccMatchesSamples(t *testing.T) {
+	orig := trace.MustNewDataset([]*trace.Trace{
+		eastTrace("a", 12, 100, 0),
+		eastTrace("b", 9, 100, 1000),
+	})
+	anon := trace.MustNewDataset([]*trace.Trace{
+		eastTrace("a", 12, 100, 60),
+		eastTrace("b", 9, 100, 1130),
+	})
+	samples, err := DatasetDistortion(orig, anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewDistortionAcc()
+	for _, at := range anon.Traces() {
+		if err := acc.AddPair(orig.ByUser(at.User), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := acc.Summary()
+	if sum.N != int64(len(samples)) {
+		t.Fatalf("N = %d, want %d", sum.N, len(samples))
+	}
+	var mean, min, max float64
+	min = math.Inf(1)
+	for _, d := range samples {
+		mean += d
+		min = math.Min(min, d)
+		max = math.Max(max, d)
+	}
+	mean /= float64(len(samples))
+	if math.Abs(sum.Mean-mean) > 1e-6 { // micrometer quantization only
+		t.Errorf("Mean = %v, want %v", sum.Mean, mean)
+	}
+	if sum.Min != min || sum.Max != max {
+		t.Errorf("min/max = %v/%v, want %v/%v", sum.Min, sum.Max, min, max)
+	}
+	// Histogram quantiles are exact to one log bin (~4.5%) plus the
+	// micrometer quantization.
+	for _, q := range []struct {
+		got  float64
+		want float64
+	}{{sum.P50, quantileOf(samples, 0.5)}, {sum.P95, quantileOf(samples, 0.95)}} {
+		if q.want > 1 && math.Abs(q.got-q.want)/q.want > 0.10 {
+			t.Errorf("quantile %v strays from %v", q.got, q.want)
+		}
+	}
+}
+
+func quantileOf(xs []float64, q float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := range cp {
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[i] {
+				cp[i], cp[j] = cp[j], cp[i]
+			}
+		}
+	}
+	return cp[int(q*float64(len(cp)-1))]
+}
+
+// TestDistortionAccIdentity pins the all-zero case: evaluating a
+// dataset against itself reports exactly zero distortion everywhere.
+func TestDistortionAccIdentity(t *testing.T) {
+	tr := eastTrace("u", 20, 100, 0)
+	acc := NewDistortionAcc()
+	if err := acc.AddPair(tr, tr); err != nil {
+		t.Fatal(err)
+	}
+	s := acc.Summary()
+	if s.Mean > 1e-9 || s.P50 != 0 || s.P95 != 0 || s.Max > 1e-9 {
+		t.Fatalf("self distortion summary %+v, want all ~0", s)
+	}
+}
+
+// TestDistBinMonotonic pins the histogram bin geometry: binning is
+// monotone in the value and edges invert to the bin's own range.
+func TestDistBinMonotonic(t *testing.T) {
+	prev := -1
+	for _, um := range []uint64{0, 1, 2, 3, 15, 16, 17, 100, 1000, 1e6, 5e6, 1e9, 1e12, math.MaxUint64} {
+		b := distBin(um)
+		if b < prev {
+			t.Fatalf("distBin(%d) = %d < previous %d", um, b, prev)
+		}
+		prev = b
+		if b >= distBins {
+			t.Fatalf("distBin(%d) = %d out of range", um, b)
+		}
+		if um > 0 {
+			edge := distBinEdge(b)
+			v := float64(um) * 1e-6
+			if edge > v*1.0001 {
+				t.Fatalf("edge(%d)=%v above value %v", b, edge, v)
+			}
+			if v > edge*2.2 {
+				t.Fatalf("edge(%d)=%v too far below value %v", b, edge, v)
+			}
+		}
+	}
+}
+
+// TestU128 pins the wide-sum primitive, including carries.
+func TestU128(t *testing.T) {
+	var a u128
+	a.add(math.MaxUint64)
+	a.add(math.MaxUint64)
+	a.add(2)
+	if a.hi != 2 || a.lo != 0 {
+		t.Fatalf("u128 = {%d, %d}, want {2, 0}", a.hi, a.lo)
+	}
+	var b u128
+	b.add(7)
+	b.merge(a)
+	if b.hi != 2 || b.lo != 7 {
+		t.Fatalf("merge = {%d, %d}, want {2, 7}", b.hi, b.lo)
+	}
+	if got := (u128{hi: 1, lo: 0}).toFloat(); got != 0x1p64 {
+		t.Fatalf("toFloat = %v", got)
+	}
+}
+
+// TestQueryPointsKnownAnswer pins the (seed, index) query derivation:
+// these exact centers are what both the batch and the store-native path
+// draw for the same seed. Any change here is a format break for
+// reproducibility and must be deliberate.
+func TestQueryPointsKnownAnswer(t *testing.T) {
+	box := geo.NewBBox(geo.Point{Lat: 45.0, Lng: 4.0}, geo.Point{Lat: 46.0, Lng: 5.0})
+	want := []struct {
+		seed     int64
+		i        int
+		lat, lng float64
+	}{
+		{1, 0, 45.874382220330737, 4.6599993482021871},
+		{1, 1, 45.034238227451972, 4.5990948659617841},
+		{1, 2, 45.549758941641279, 4.5395355936479174},
+		{9, 0, 45.122753489358473, 4.524858254087226},
+		{9, 1, 45.722525294607927, 4.8213118470033063},
+		{9, 2, 45.213302086980072, 4.1803944315026653},
+	}
+	for _, w := range want {
+		pts := queryPoints(box, 3, w.seed)
+		if pts[w.i].Lat != w.lat || pts[w.i].Lng != w.lng {
+			t.Errorf("queryPoints(seed=%d)[%d] = (%.17g, %.17g), want (%.17g, %.17g)",
+				w.seed, w.i, pts[w.i].Lat, pts[w.i].Lng, w.lat, w.lng)
+		}
+	}
+	// The i-th query depends only on (seed, i), not on n — the property
+	// the bare math/rand seeding could not give.
+	long := queryPoints(box, 10, 1)
+	short := queryPoints(box, 3, 1)
+	for i := range short {
+		if long[i] != short[i] {
+			t.Errorf("query %d changed with n: %v vs %v", i, long[i], short[i])
+		}
+	}
+}
+
+// TestRangeQueryAccMatchesFunction pins wrapper and accumulator to each
+// other on a split-and-merged run.
+func TestRangeQueryAccMatchesFunction(t *testing.T) {
+	orig := trace.MustNewDataset([]*trace.Trace{
+		eastTrace("a", 30, 100, 0),
+		eastTrace("b", 30, 100, 200),
+	})
+	anon := trace.MustNewDataset([]*trace.Trace{
+		eastTrace("a", 25, 100, 400),
+		eastTrace("c", 10, 100, 100),
+	})
+	want, err := RangeQueryError(orig, anon, 40, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := NewRangeQueryAcc(orig.Bounds(), 40, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewRangeQueryAcc(orig.Bounds(), 40, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the union across two accumulators, merged.
+	a1.AddPair(orig.ByUser("a"), anon.ByUser("a"))
+	a2.AddPair(orig.ByUser("b"), nil)
+	a2.AddPair(nil, anon.ByUser("c"))
+	a1.Merge(a2)
+	got, err := a1.Errors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("accumulator errors differ from RangeQueryError:\nwant %v\ngot  %v", want, got)
+	}
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"context"
+	"sync"
+
+	"mobipriv/internal/store"
+	"mobipriv/internal/trace"
+)
+
+// EvalStoreStats reports what a store-native evaluation did: traces
+// paired, users present in only one store, per-side block pruning
+// counters and the peak number of users buffered at once — the
+// observable proof that the datasets never existed in memory.
+type EvalStoreStats = store.PairScanStats
+
+// EvalStore evaluates an anonymized store against its original without
+// materializing either dataset: store.ScanTracesPaired streams the two
+// stores in lockstep, aligned by user, and each segment goroutine folds
+// its pairs into its own EvalAcc; the per-worker accumulators are
+// merged at the end. Because the accumulators are merge-order
+// invariant, the report is bit-identical to EvalDataset over the
+// Load()ed stores, whatever the worker count.
+//
+// Peak memory is one user's traces per scanning goroutine plus the
+// accumulator state (grid cells, per-trace lengths, histograms) —
+// never the datasets. opts.Scan carries the bbox/time/user filters and
+// the worker budget; both stores are pruned on their block footers
+// before anything is read.
+func EvalStore(ctx context.Context, orig, anon *store.Store, opts EvalOptions) (*Report, *EvalStoreStats, error) {
+	if opts.Bounds.IsEmpty() {
+		opts.Bounds = orig.Bounds()
+	}
+	root, err := NewEvalAcc(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// A free list of per-worker accumulators: each callback checks one
+	// out, folds its pair, and returns it. The list never exceeds the
+	// scan's goroutine count.
+	var (
+		mu   sync.Mutex
+		free []*EvalAcc
+		all  []*EvalAcc
+	)
+	get := func() (*EvalAcc, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if n := len(free); n > 0 {
+			acc := free[n-1]
+			free = free[:n-1]
+			return acc, nil
+		}
+		acc, err := NewEvalAcc(opts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, acc)
+		return acc, nil
+	}
+	put := func(acc *EvalAcc) {
+		mu.Lock()
+		free = append(free, acc)
+		mu.Unlock()
+	}
+
+	scan := opts.Scan
+	scan.NoCache = true // one-shot pass: caching would only pin dead memory
+	scan.Stats = nil
+	pstats, err := store.ScanTracesPaired(ctx, orig, anon, scan, func(o, a *trace.Trace) error {
+		acc, err := get()
+		if err != nil {
+			return err
+		}
+		defer put(acc)
+		return acc.AddPair(o, a)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, acc := range all {
+		root.Merge(acc)
+	}
+	r, err := root.Report()
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, pstats, nil
+}

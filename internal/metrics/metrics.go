@@ -4,22 +4,34 @@
 // accuracy. Together they quantify the paper's utility claim — that
 // distorting time instead of space keeps published data useful for
 // spatial analyses.
+//
+// Every metric exists in two forms sharing one implementation: a
+// streaming accumulator (DistortionAcc, CoverageAcc, LengthAcc, ODAcc,
+// PopularAcc, RangeQueryAcc — see acc.go) fed trace pairs with AddPair
+// and combined with Merge, and a Dataset-level function that is a thin
+// wrapper feeding a whole in-memory dataset through the accumulator.
+// The accumulators obey a determinism contract — AddPair and Merge
+// commute, so any partition of the input merged in any order is
+// bit-identical — which is what lets EvalStore stream two on-disk
+// stores through a worker pool and still match the batch path exactly.
 package metrics
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"math/rand"
 	"sort"
 
-	"mobipriv/internal/geo"
 	"mobipriv/internal/stats"
 	"mobipriv/internal/trace"
 )
 
 // ErrNoCommonUsers reports that two datasets share no user identifiers.
 var ErrNoCommonUsers = errors.New("metrics: datasets share no users")
+
+var (
+	errEmptyDataset  = errors.New("metrics: empty dataset")
+	errEmptyOriginal = errors.New("metrics: empty original dataset")
+)
 
 // TraceDistortion returns the spatial distortion sample of one
 // anonymized trace versus its original: for every published point, the
@@ -58,24 +70,7 @@ func CompletenessDistortion(orig, anon *trace.Trace) ([]float64, error) {
 // datasets (matched by identifier). Users missing from either side are
 // skipped; it is an error if no user matches.
 func DatasetDistortion(orig, anon *trace.Dataset) ([]float64, error) {
-	var pooled []float64
-	matched := false
-	for _, at := range anon.Traces() {
-		ot := orig.ByUser(at.User)
-		if ot == nil {
-			continue
-		}
-		matched = true
-		ds, err := TraceDistortion(ot, at)
-		if err != nil {
-			return nil, err
-		}
-		pooled = append(pooled, ds...)
-	}
-	if !matched {
-		return nil, ErrNoCommonUsers
-	}
-	return pooled, nil
+	return pooledDistortion(orig, anon, TraceDistortion)
 }
 
 // DatasetCompleteness pools CompletenessDistortion over all users
@@ -83,6 +78,10 @@ func DatasetDistortion(orig, anon *trace.Dataset) ([]float64, error) {
 // observation, the distance to the user's published path. It is the
 // direction in which trimming, suppression and corner-cutting show up.
 func DatasetCompleteness(orig, anon *trace.Dataset) ([]float64, error) {
+	return pooledDistortion(orig, anon, CompletenessDistortion)
+}
+
+func pooledDistortion(orig, anon *trace.Dataset, sample func(o, a *trace.Trace) ([]float64, error)) ([]float64, error) {
 	var pooled []float64
 	matched := false
 	for _, at := range anon.Traces() {
@@ -91,7 +90,7 @@ func DatasetCompleteness(orig, anon *trace.Dataset) ([]float64, error) {
 			continue
 		}
 		matched = true
-		ds, err := CompletenessDistortion(ot, at)
+		ds, err := sample(ot, at)
 		if err != nil {
 			return nil, err
 		}
@@ -116,44 +115,29 @@ type CoverageResult struct {
 // Coverage rasterizes both datasets onto a square grid of the given cell
 // size (meters) and compares the visited-cell sets.
 func Coverage(orig, anon *trace.Dataset, cellSize float64) (CoverageResult, error) {
-	if cellSize <= 0 {
-		return CoverageResult{}, fmt.Errorf("metrics: cell size %v must be positive", cellSize)
+	acc, err := NewCoverageAcc(orig.Bounds().Center(), cellSize)
+	if err != nil {
+		return CoverageResult{}, err
 	}
-	center := orig.Bounds().Center()
-	oc := visitedCells(orig, center, cellSize)
-	ac := visitedCells(anon, center, cellSize)
-	var hit int
-	for c := range ac {
-		if oc[c] {
-			hit++
+	feedDatasets(orig, anon, func(o, a *trace.Trace) { acc.AddPair(o, a) })
+	return acc.Result(), nil
+}
+
+// feedDatasets drives an accumulator callback over two datasets the way
+// a paired scan would: one call per user of the union, with the side a
+// user is missing from nil.
+func feedDatasets(orig, anon *trace.Dataset, add func(o, a *trace.Trace)) {
+	for _, ot := range orig.Traces() {
+		add(ot, anon.ByUser(ot.User))
+	}
+	for _, at := range anon.Traces() {
+		if orig.ByUser(at.User) == nil {
+			add(nil, at)
 		}
 	}
-	res := CoverageResult{OrigCells: len(oc), AnonCells: len(ac)}
-	if len(ac) > 0 {
-		res.Precision = float64(hit) / float64(len(ac))
-	}
-	if len(oc) > 0 {
-		res.Recall = float64(hit) / float64(len(oc))
-	}
-	if res.Precision+res.Recall > 0 {
-		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
-	}
-	return res, nil
 }
 
 type cellID struct{ x, y int }
-
-func visitedCells(d *trace.Dataset, center geo.Point, cellSize float64) map[cellID]bool {
-	proj := geo.NewProjector(center)
-	out := make(map[cellID]bool)
-	for _, tr := range d.Traces() {
-		for _, p := range tr.Points {
-			v := proj.ToXY(p.Point)
-			out[cellID{int(math.Floor(v.X / cellSize)), int(math.Floor(v.Y / cellSize))}] = true
-		}
-	}
-	return out
-}
 
 // LengthStats compares the distribution of per-user travelled distances.
 type LengthStats struct {
@@ -169,42 +153,9 @@ type LengthStats struct {
 
 // TripLengths compares trace length distributions of the two datasets.
 func TripLengths(orig, anon *trace.Dataset) (LengthStats, error) {
-	ol := traceLengths(orig)
-	al := traceLengths(anon)
-	if len(ol) == 0 || len(al) == 0 {
-		return LengthStats{}, errors.New("metrics: empty dataset")
-	}
-	ls := LengthStats{
-		OrigMean:   stats.Mean(ol),
-		AnonMean:   stats.Mean(al),
-		OrigMedian: stats.Median(ol),
-		AnonMedian: stats.Median(al),
-	}
-	if ls.OrigMean > 0 {
-		ls.MeanRelError = math.Abs(ls.AnonMean-ls.OrigMean) / ls.OrigMean
-	}
-	var sum float64
-	var n int
-	for q := 0.1; q < 0.95; q += 0.1 {
-		oq := stats.Quantile(ol, q)
-		aq := stats.Quantile(al, q)
-		if oq > 0 {
-			sum += math.Abs(aq-oq) / oq
-			n++
-		}
-	}
-	if n > 0 {
-		ls.DecileError = sum / float64(n)
-	}
-	return ls, nil
-}
-
-func traceLengths(d *trace.Dataset) []float64 {
-	out := make([]float64, 0, d.Len())
-	for _, tr := range d.Traces() {
-		out = append(out, tr.Length())
-	}
-	return out
+	acc := NewLengthAcc()
+	feedDatasets(orig, anon, func(o, a *trace.Trace) { acc.AddPair(o, a) })
+	return acc.Result()
 }
 
 // ODResult reports origin–destination flow preservation: each trace
@@ -222,59 +173,35 @@ type ODResult struct {
 // paper predicts this query class breaks under swapping — E11 quantifies
 // exactly that.
 func ODFlows(orig, anon *trace.Dataset, cellSize float64) (ODResult, error) {
-	if cellSize <= 0 {
-		return ODResult{}, fmt.Errorf("metrics: cell size %v must be positive", cellSize)
+	acc, err := NewODAcc(orig.Bounds().Center(), cellSize)
+	if err != nil {
+		return ODResult{}, err
 	}
-	if orig.Len() == 0 {
-		return ODResult{}, errors.New("metrics: empty original dataset")
-	}
-	center := orig.Bounds().Center()
-	of := odCounts(orig, center, cellSize)
-	af := odCounts(anon, center, cellSize)
-	var overlap int
-	for k, oc := range of {
-		if ac := af[k]; ac < oc {
-			overlap += ac
-		} else {
-			overlap += oc
-		}
-	}
-	return ODResult{
-		Accuracy: float64(overlap) / float64(orig.Len()),
-		OrigOD:   len(of),
-		AnonOD:   len(af),
-	}, nil
+	feedDatasets(orig, anon, func(o, a *trace.Trace) { acc.AddPair(o, a) })
+	return acc.Result()
 }
 
 type odKey struct{ o, d cellID }
-
-func odCounts(d *trace.Dataset, center geo.Point, cellSize float64) map[odKey]int {
-	proj := geo.NewProjector(center)
-	cell := func(p geo.Point) cellID {
-		v := proj.ToXY(p)
-		return cellID{int(math.Floor(v.X / cellSize)), int(math.Floor(v.Y / cellSize))}
-	}
-	out := make(map[odKey]int)
-	for _, tr := range d.Traces() {
-		out[odKey{cell(tr.Start().Point), cell(tr.End().Point)}]++
-	}
-	return out
-}
 
 // PopularCellsTau ranks grid cells by visit count in the original
 // dataset, takes the top n, and returns the Kendall rank correlation of
 // their counts in original versus anonymized data. 1 means the
 // popularity ranking is perfectly preserved.
 func PopularCellsTau(orig, anon *trace.Dataset, cellSize float64, n int) (float64, error) {
-	if cellSize <= 0 || n <= 1 {
-		return 0, fmt.Errorf("metrics: need positive cell size and n > 1 (got %v, %d)", cellSize, n)
+	acc, err := NewPopularAcc(orig.Bounds().Center(), cellSize, n)
+	if err != nil {
+		return 0, err
 	}
-	center := orig.Bounds().Center()
-	oc := cellCounts(orig, center, cellSize)
-	ac := cellCounts(anon, center, cellSize)
+	feedDatasets(orig, anon, func(o, a *trace.Trace) { acc.AddPair(o, a) })
+	return acc.Result()
+}
+
+// popularTau ranks the original cells (ties broken by coordinates) and
+// correlates the top-n counts across the two sides.
+func popularTau(oc, ac map[cellID]int64, n int) (float64, error) {
 	type cc struct {
 		id cellID
-		n  int
+		n  int64
 	}
 	ranked := make([]cc, 0, len(oc))
 	for id, cnt := range oc {
@@ -304,58 +231,24 @@ func PopularCellsTau(orig, anon *trace.Dataset, cellSize float64, n int) (float6
 	return stats.KendallTau(xs, ys), nil
 }
 
-func cellCounts(d *trace.Dataset, center geo.Point, cellSize float64) map[cellID]int {
-	proj := geo.NewProjector(center)
-	out := make(map[cellID]int)
-	for _, tr := range d.Traces() {
-		for _, p := range tr.Points {
-			v := proj.ToXY(p.Point)
-			out[cellID{int(math.Floor(v.X / cellSize)), int(math.Floor(v.Y / cellSize))}]++
-		}
-	}
-	return out
-}
-
-// RangeQueryError runs n random disc-counting queries (uniform centers
-// over the original bounding box, fixed radius) against both datasets
-// and returns the per-query relative error of the normalized density:
-// the fraction of each dataset's observations inside the disc. Using
-// fractions rather than raw counts keeps the metric meaningful for
-// mechanisms that change the total number of published points
-// (smoothing, suppression).
+// RangeQueryError runs n random disc-counting queries (centers derived
+// from the seed, uniform over the original bounding box, fixed radius)
+// against both datasets and returns the per-query relative error of the
+// normalized density: the fraction of each dataset's observations
+// inside the disc. Using fractions rather than raw counts keeps the
+// metric meaningful for mechanisms that change the total number of
+// published points (smoothing, suppression).
+//
+// Query centers are a pure function of (seed, query index) via the
+// shared internal/rng derivation — see queryPoints — so every consumer
+// of the same seed, batch or store-native, evaluates the identical
+// query set.
 func RangeQueryError(orig, anon *trace.Dataset, n int, radius float64, seed int64) ([]float64, error) {
-	if n <= 0 || radius <= 0 {
-		return nil, fmt.Errorf("metrics: need positive query count and radius (got %d, %v)", n, radius)
-	}
 	box := orig.Bounds()
-	if box.IsEmpty() {
-		return nil, errors.New("metrics: empty original dataset")
+	acc, err := NewRangeQueryAcc(box, n, radius, seed)
+	if err != nil {
+		return nil, err
 	}
-	origTotal := float64(orig.TotalPoints())
-	anonTotal := math.Max(float64(anon.TotalPoints()), 1)
-	rng := rand.New(rand.NewSource(seed))
-	errsOut := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		q := geo.Point{
-			Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
-			Lng: box.MinLng + rng.Float64()*(box.MaxLng-box.MinLng),
-		}
-		of := float64(countWithin(orig, q, radius)) / origTotal
-		af := float64(countWithin(anon, q, radius)) / anonTotal
-		denom := math.Max(of, 1/origTotal) // one original point's worth of density
-		errsOut = append(errsOut, math.Abs(af-of)/denom)
-	}
-	return errsOut, nil
-}
-
-func countWithin(d *trace.Dataset, q geo.Point, radius float64) int {
-	var n int
-	for _, tr := range d.Traces() {
-		for _, p := range tr.Points {
-			if geo.FastDistance(p.Point, q) <= radius {
-				n++
-			}
-		}
-	}
-	return n
+	feedDatasets(orig, anon, func(o, a *trace.Trace) { acc.AddPair(o, a) })
+	return acc.Errors()
 }

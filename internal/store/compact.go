@@ -3,6 +3,7 @@ package store
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"mobipriv/internal/trace"
 )
@@ -31,22 +32,23 @@ type CompactStats struct {
 // it before Close.
 func Compact(ctx context.Context, s *Store, w *Writer) (CompactStats, error) {
 	var scan ScanStats
+	// Count this pass's own Adds: the caller may be extending a Writer
+	// that already holds other users.
+	var rewritten int64
 	err := s.ScanTraces(ctx, ScanOptions{NoCache: true, Stats: &scan}, func(tr *trace.Trace) error {
 		if err := w.Add(tr); err != nil {
 			return fmt.Errorf("store: compact user %q: %w", tr.User, err)
 		}
+		atomic.AddInt64(&rewritten, 1)
 		return nil
 	})
 	if err != nil {
 		return CompactStats{}, err
 	}
-	st := CompactStats{
+	return CompactStats{
+		Users:             int(rewritten),
 		Points:            scan.Points,
 		BlocksIn:          scan.BlocksTotal,
 		PeakBufferedUsers: scan.PeakBufferedUsers,
-	}
-	w.mu.Lock()
-	st.Users = len(w.users)
-	w.mu.Unlock()
-	return st, nil
+	}, nil
 }

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mobipriv/internal/trace"
+)
+
+// FuzzBlockDecode throws arbitrary bytes at the .mstore block decoder.
+// The decoder must never panic, must be deterministic, and — whenever
+// it accepts a block whose values are in the format's realistic domain
+// — must round-trip exactly through the encoder.
+func FuzzBlockDecode(f *testing.F) {
+	// Seed corpus: real blocks of every shape the Writer produces.
+	base := time.Date(2025, 6, 1, 8, 0, 0, 0, time.UTC)
+	seedPts := func(n int) []trace.Point {
+		pts := make([]trace.Point, n)
+		for i := range pts {
+			pts[i] = trace.P(
+				float64(457_640_000+37*i)/CoordScale,
+				float64(48_357_000-13*i)/CoordScale,
+				base.Add(time.Duration(i)*45*time.Second),
+			)
+		}
+		return pts
+	}
+	for _, n := range []int{1, 2, 17} {
+		blk, _ := appendBlock(nil, "user-α", seedPts(n))
+		f.Add(blk)
+	}
+	blk, _ := appendBlock(nil, "", nil)
+	f.Add(blk)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		user, pts, err := decodeBlock(data)
+		u2, p2, err2 := decodeBlock(data)
+		if (err == nil) != (err2 == nil) || user != u2 || len(pts) != len(p2) {
+			t.Fatalf("decode not deterministic: (%q,%d,%v) vs (%q,%d,%v)",
+				user, len(pts), err, u2, len(p2), err2)
+		}
+		if err != nil {
+			return
+		}
+		// Exact round-trip is only promised inside the format's domain:
+		// coordinates that quantize within WGS84 bounds and timestamps
+		// time.UnixMicro represents exactly. Arbitrary accepted varint
+		// streams can decode to values outside it, where float/time
+		// conversions legitimately lose bits.
+		const maxCoord = int64(180 * CoordScale)
+		for _, p := range pts {
+			if q := quantize(p.Lat); q < -maxCoord || q > maxCoord {
+				return
+			}
+			if q := quantize(p.Lng); q < -maxCoord || q > maxCoord {
+				return
+			}
+			if us := toMicros(p.Time); us < -(1<<53) || us > 1<<53 {
+				return
+			}
+		}
+		enc, st := appendBlock(nil, user, pts)
+		if st.points != len(pts) {
+			t.Fatalf("re-encode stats count %d != %d", st.points, len(pts))
+		}
+		ru, rp, rerr := decodeBlock(enc)
+		if rerr != nil {
+			t.Fatalf("re-encoded block rejected: %v", rerr)
+		}
+		if ru != user || len(rp) != len(pts) {
+			t.Fatalf("round trip (%q, %d) != (%q, %d)", ru, len(rp), user, len(pts))
+		}
+		for i := range pts {
+			if rp[i].Lat != pts[i].Lat || rp[i].Lng != pts[i].Lng || !rp[i].Time.Equal(pts[i].Time) {
+				t.Fatalf("round trip point %d: %v != %v", i, rp[i], pts[i])
+			}
+		}
+	})
+}
+
+// FuzzScanTracesPaired drives the paired alignment with arbitrary user
+// populations, point spreads and shard counts derived from the fuzz
+// input, and checks the alignment invariant: exactly the users present
+// on both sides are paired, the symmetric difference is reported
+// one-sided, and no user is delivered twice.
+func FuzzScanTracesPaired(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x43, 0x07, 0x22, 0x91, 0x10, 0xfe})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x13, 0x13, 0x77})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 256 {
+			return
+		}
+		// Byte i of the input places user (i mod 12): the low crumbs
+		// pick the sides, the high bits the point count.
+		base := time.Date(2025, 6, 1, 8, 0, 0, 0, time.UTC)
+		type side struct{ pts map[string][]trace.Point }
+		orig := side{pts: make(map[string][]trace.Point)}
+		anon := side{pts: make(map[string][]trace.Point)}
+		for i, b := range data {
+			user := fmt.Sprintf("f%02d", i%12)
+			n := 1 + int(b>>4)
+			mk := func(salt int) []trace.Point {
+				pts := make([]trace.Point, n)
+				for k := range pts {
+					pts[k] = trace.P(
+						float64(450_000_000+1000*salt+17*k)/CoordScale,
+						float64(48_000_000+11*k)/CoordScale,
+						base.Add(time.Duration(i*3600+k)*time.Second),
+					)
+				}
+				return pts
+			}
+			if b&1 != 0 {
+				orig.pts[user] = append(orig.pts[user], mk(i)...)
+			}
+			if b&2 != 0 {
+				anon.pts[user] = append(anon.pts[user], mk(i+500)...)
+			}
+		}
+		build := func(s side, shards, block int, name string) (*Store, map[string]bool) {
+			users := make(map[string]bool)
+			dir := filepath.Join(t.TempDir(), name)
+			w, err := Create(dir, Options{Shards: shards, BlockPoints: block})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for user, pts := range s.pts {
+				users[user] = true
+				for _, p := range pts {
+					if err := w.Append(user, p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { st.Close() })
+			return st, users
+		}
+		origStore, origUsers := build(orig, 1+int(data[0]%4), 1+int(data[0]%5), "orig.mstore")
+		anonStore, anonUsers := build(anon, 1+int(data[len(data)-1]%5), 2, "anon.mstore")
+
+		var mu sync.Mutex
+		seen := make(map[string]int)
+		st, err := ScanTracesPaired(context.Background(), origStore, anonStore,
+			ScanOptions{Workers: 1 + int(data[0]%3)},
+			func(o, a *trace.Trace) error {
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case o != nil && a != nil:
+					seen[o.User] |= 3
+				case o != nil:
+					seen[o.User] |= 1
+				case a != nil:
+					seen[a.User] |= 2
+				default:
+					t.Error("both sides nil")
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("ScanTracesPaired: %v", err)
+		}
+		var wantPaired int64
+		for u := range origUsers {
+			want := 1
+			if anonUsers[u] {
+				want = 3
+				wantPaired++
+			}
+			if seen[u] != want {
+				t.Fatalf("user %s delivered as %d, want %d", u, seen[u], want)
+			}
+		}
+		for u := range anonUsers {
+			if !origUsers[u] && seen[u] != 2 {
+				t.Fatalf("anon-only user %s delivered as %d", u, seen[u])
+			}
+		}
+		if int64(len(seen)) != int64(len(origUsers))+int64(len(anonUsers))-wantPaired {
+			t.Fatalf("delivered %d users, want %d", len(seen), int64(len(origUsers))+int64(len(anonUsers))-wantPaired)
+		}
+		if st.Paired != wantPaired {
+			t.Fatalf("stats.Paired = %d, want %d", st.Paired, wantPaired)
+		}
+		if int64(len(st.OnlyOrig))+int64(len(st.OnlyAnon))+st.Paired != int64(len(seen)) {
+			t.Fatalf("stats inconsistent with deliveries: %+v", st)
+		}
+	})
+}

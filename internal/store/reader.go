@@ -257,13 +257,7 @@ func (s *Store) Scan(ctx context.Context, opts ScanOptions, fn ScanFunc) error {
 	if opts.Workers != 0 {
 		ctx = par.WithWorkers(ctx, opts.Workers)
 	}
-	var users map[string]bool
-	if opts.Users != nil {
-		users = make(map[string]bool, len(opts.Users))
-		for _, u := range opts.Users {
-			users[u] = true
-		}
-	}
+	users := userSet(opts.Users)
 	stats := opts.Stats
 	if stats == nil {
 		stats = &ScanStats{}
@@ -319,27 +313,35 @@ func (s *Store) pruned(e *blockEntry, users map[string]bool, opts ScanOptions) b
 	return false
 }
 
+// Matches reports whether a point passes the exact per-point filters
+// (From <= t <= To, bbox containment). It is the single definition of
+// the filter semantics: pruned store scans apply it after block
+// pruning, and cliutil.FilterDataset applies it to in-memory datasets,
+// so a filtered batch run and a filtered store-native run always
+// select the same points. The user filter is per-trace, not per-point,
+// and is not part of this predicate.
+func (o ScanOptions) Matches(p trace.Point) bool {
+	if !o.From.IsZero() && p.Time.Before(o.From) {
+		return false
+	}
+	if !o.To.IsZero() && p.Time.After(o.To) {
+		return false
+	}
+	if !o.BBox.IsEmpty() && !o.BBox.Contains(p.Point) {
+		return false
+	}
+	return true
+}
+
 // filterPoints applies the exact per-point filters, copying only when
 // something is dropped.
 func filterPoints(pts []trace.Point, opts ScanOptions) []trace.Point {
 	if opts.From.IsZero() && opts.To.IsZero() && opts.BBox.IsEmpty() {
 		return pts
 	}
-	keep := func(p trace.Point) bool {
-		if !opts.From.IsZero() && p.Time.Before(opts.From) {
-			return false
-		}
-		if !opts.To.IsZero() && p.Time.After(opts.To) {
-			return false
-		}
-		if !opts.BBox.IsEmpty() && !opts.BBox.Contains(p.Point) {
-			return false
-		}
-		return true
-	}
 	all := true
 	for _, p := range pts {
-		if !keep(p) {
+		if !opts.Matches(p) {
 			all = false
 			break
 		}
@@ -349,7 +351,7 @@ func filterPoints(pts []trace.Point, opts ScanOptions) []trace.Point {
 	}
 	out := make([]trace.Point, 0, len(pts))
 	for _, p := range pts {
-		if keep(p) {
+		if opts.Matches(p) {
 			out = append(out, p)
 		}
 	}

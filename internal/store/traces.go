@@ -15,6 +15,72 @@ import (
 // callee.
 type TraceScanFunc func(tr *trace.Trace) error
 
+// userBlocks groups a segment's footer entries by user, preserving the
+// file order of each user's first block — the iteration order of every
+// trace-assembling scan.
+func (seg *segReader) userBlocks() (order []string, blocks map[string][]int) {
+	order = make([]string, 0, len(seg.entries))
+	blocks = make(map[string][]int, len(seg.entries))
+	for bi := range seg.entries {
+		u := seg.entries[bi].user
+		if len(blocks[u]) == 0 {
+			order = append(order, u)
+		}
+		blocks[u] = append(blocks[u], bi)
+	}
+	return order, blocks
+}
+
+// gatherUser assembles one user's points from the given blocks of one
+// segment: pruned or decoded block by block, point-filtered, merged,
+// time-sorted and microsecond-deduplicated (first observation wins,
+// exactly as Load). The result may be empty when every point is pruned
+// or filtered away.
+//
+// In the single-block fast path the returned slice may be shared with
+// the block cache: it is already sorted and deduped by the Writer, and
+// callers only hand it to trace.New (which copies), so it is never
+// mutated and nothing is buffered. Multi-block users are counted on the
+// buffered gauge while their fragments are held, and the high-water
+// mark folds into peak via par.PeakAdd.
+func (s *Store) gatherUser(segIdx int, idxs []int, users map[string]bool, opts ScanOptions, stats *ScanStats, buffered, peak *int64) ([]trace.Point, error) {
+	seg := s.segs[segIdx]
+	readBlock := func(bi int) ([]trace.Point, error) {
+		e := &seg.entries[bi]
+		atomic.AddInt64(&stats.BlocksTotal, 1)
+		if s.pruned(e, users, opts) {
+			atomic.AddInt64(&stats.BlocksPruned, 1)
+			return nil, nil
+		}
+		user, raw, err := s.block(segIdx, bi, stats, opts.NoCache)
+		if err != nil {
+			return nil, fmt.Errorf("segment %s block %d: %w", seg.file, bi, err)
+		}
+		if user != e.user {
+			return nil, corruptf("segment %s block %d: footer user %q, block user %q", seg.file, bi, e.user, user)
+		}
+		return filterPoints(raw, opts), nil
+	}
+	if len(idxs) == 1 {
+		return readBlock(idxs[0])
+	}
+	par.PeakAdd(buffered, peak)
+	defer atomic.AddInt64(buffered, -1)
+	var buf []trace.Point
+	for _, bi := range idxs {
+		pts, err := readBlock(bi)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, pts...)
+	}
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	sort.SliceStable(buf, func(a, b int) bool { return buf[a].Time.Before(buf[b].Time) })
+	return dedupeMicros(buf), nil
+}
+
 // ScanTraces streams whole traces out of the store: each user's blocks
 // — however fragmented by streaming appends — are merged, time-sorted
 // and microsecond-deduplicated (first observation wins, exactly as
@@ -45,13 +111,7 @@ func (s *Store) ScanTraces(ctx context.Context, opts ScanOptions, fn TraceScanFu
 	if opts.Workers != 0 {
 		ctx = par.WithWorkers(ctx, opts.Workers)
 	}
-	var users map[string]bool
-	if opts.Users != nil {
-		users = make(map[string]bool, len(opts.Users))
-		for _, u := range opts.Users {
-			users[u] = true
-		}
-	}
+	users := userSet(opts.Users)
 	stats := opts.Stats
 	if stats == nil {
 		stats = &ScanStats{}
@@ -60,86 +120,40 @@ func (s *Store) ScanTraces(ctx context.Context, opts ScanOptions, fn TraceScanFu
 	// goroutines; its high-water mark lands in stats.PeakBufferedUsers.
 	var buffered int64
 	return par.Map(ctx, len(s.segs), func(i int) error {
-		seg := s.segs[i]
-		// Group each user's blocks from the footer, preserving the file
-		// order of first appearance.
-		order := make([]string, 0, len(seg.entries))
-		blocks := make(map[string][]int, len(seg.entries))
-		for bi := range seg.entries {
-			u := seg.entries[bi].user
-			if len(blocks[u]) == 0 {
-				order = append(order, u)
+		order, blocks := s.segs[i].userBlocks()
+		for _, user := range order {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			blocks[u] = append(blocks[u], bi)
-		}
-		// readBlock prunes or decodes one block and applies the exact
-		// point filters.
-		readBlock := func(bi int) ([]trace.Point, error) {
-			e := &seg.entries[bi]
-			atomic.AddInt64(&stats.BlocksTotal, 1)
-			if s.pruned(e, users, opts) {
-				atomic.AddInt64(&stats.BlocksPruned, 1)
-				return nil, nil
-			}
-			user, raw, err := s.block(i, bi, stats, opts.NoCache)
+			pts, err := s.gatherUser(i, blocks[user], users, opts, stats, &buffered, &stats.PeakBufferedUsers)
 			if err != nil {
-				return nil, fmt.Errorf("segment %s block %d: %w", seg.file, bi, err)
+				return err
 			}
-			if user != e.user {
-				return nil, corruptf("segment %s block %d: footer user %q, block user %q", seg.file, bi, e.user, user)
+			if len(pts) == 0 {
+				continue
 			}
-			return filterPoints(raw, opts), nil
-		}
-		emit := func(user string, pts []trace.Point) error {
 			tr, err := trace.New(user, pts)
 			if err != nil {
 				return fmt.Errorf("store: user %q: %w", user, err)
 			}
 			atomic.AddInt64(&stats.Points, int64(tr.Len()))
-			return fn(tr)
-		}
-		for _, user := range order {
-			if err := ctx.Err(); err != nil {
+			if err := fn(tr); err != nil {
 				return err
-			}
-			idxs := blocks[user]
-			if len(idxs) == 1 {
-				// Single-block fast path: block points are already
-				// sorted and deduped by the Writer, and trace.New
-				// copies, so the (possibly cache-shared) slice is
-				// never mutated and nothing is buffered.
-				pts, err := readBlock(idxs[0])
-				if err != nil {
-					return err
-				}
-				if len(pts) > 0 {
-					if err := emit(user, pts); err != nil {
-						return err
-					}
-				}
-				continue
-			}
-			par.PeakAdd(&buffered, &stats.PeakBufferedUsers)
-			var buf []trace.Point
-			for _, bi := range idxs {
-				pts, err := readBlock(bi)
-				if err != nil {
-					atomic.AddInt64(&buffered, -1)
-					return err
-				}
-				buf = append(buf, pts...)
-			}
-			atomic.AddInt64(&buffered, -1)
-			if len(buf) == 0 {
-				continue
-			}
-			sort.SliceStable(buf, func(a, b int) bool { return buf[a].Time.Before(buf[b].Time) })
-			if buf = dedupeMicros(buf); len(buf) > 0 {
-				if err := emit(user, buf); err != nil {
-					return err
-				}
 			}
 		}
 		return nil
 	})
+}
+
+// userSet builds the pruning set for a -users style filter; nil means
+// no filtering.
+func userSet(users []string) map[string]bool {
+	if users == nil {
+		return nil
+	}
+	set := make(map[string]bool, len(users))
+	for _, u := range users {
+		set[u] = true
+	}
+	return set
 }

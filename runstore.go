@@ -72,6 +72,16 @@ type StoreRunStats struct {
 // RunStore neither closes in nor out: the caller finalizes the output
 // store with out.Close.
 func (r *Runner) RunStore(ctx context.Context, in *store.Store, out *store.Writer, m Mechanism) (*StoreRunStats, error) {
+	return r.RunStoreWith(ctx, in, out, m, store.ScanOptions{})
+}
+
+// RunStoreWith is RunStore restricted to the slice of the input store
+// selected by filter: the bbox, time-window and user filters apply to
+// the input scan with full footer pruning, so "anonymize last week,
+// this city" never reads the rest of the store (the skipped blocks
+// land in StoreRunStats.BlocksPruned). The filter's Workers, NoCache
+// and Stats fields are owned by the run and ignored.
+func (r *Runner) RunStoreWith(ctx context.Context, in *store.Store, out *store.Writer, m Mechanism, filter store.ScanOptions) (*StoreRunStats, error) {
 	if m == nil {
 		return nil, errors.New("mobipriv: nil mechanism")
 	}
@@ -137,7 +147,16 @@ func (r *Runner) RunStore(ctx context.Context, in *store.Store, out *store.Write
 		}()
 	}
 
-	scanErr := in.ScanTraces(cctx, store.ScanOptions{Workers: workers, NoCache: true, Stats: &scanStats},
+	scan := store.ScanOptions{
+		BBox:    filter.BBox,
+		From:    filter.From,
+		To:      filter.To,
+		Users:   filter.Users,
+		Workers: workers,
+		NoCache: true,
+		Stats:   &scanStats,
+	}
+	scanErr := in.ScanTraces(cctx, scan,
 		func(tr *trace.Trace) error {
 			atomic.AddInt64(&stats.Traces, 1)
 			atomic.AddInt64(&stats.Points, int64(tr.Len()))

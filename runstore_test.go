@@ -248,3 +248,51 @@ func TestRunStoreFlatMemory(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStoreWithFilters pins the filtered store-native path:
+// RunStoreWith over a user/time-restricted scan produces exactly what
+// the in-memory Runner produces on the equivalently filtered dataset,
+// and the skipped blocks are counted.
+func TestRunStoreWithFilters(t *testing.T) {
+	d := storeDataset(12, 50)
+	in := buildInputStore(t, d, true)
+	m := mobipriv.MustFromSpec("geoi(epsilon=0.01,seed=7)")
+	runner := mobipriv.NewRunner(mobipriv.WithWorkers(4))
+
+	users := []string{"user003", "user007"}
+	filter := store.ScanOptions{Users: users}
+
+	outDir := filepath.Join(t.TempDir(), "filtered.mstore")
+	w, err := store.Create(outDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := runner.RunStoreWith(context.Background(), in, w, m, filter)
+	if err != nil {
+		t.Fatalf("RunStoreWith: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Traces != 2 {
+		t.Errorf("stats.Traces = %d, want 2", stats.Traces)
+	}
+	if stats.BlocksPruned == 0 {
+		t.Errorf("user filter pruned no blocks: %+v", stats)
+	}
+
+	// Reference: the in-memory Runner over just the selected users.
+	var kept []*trace.Trace
+	for _, u := range users {
+		kept = append(kept, d.ByUser(u))
+	}
+	res, err := runner.Run(context.Background(), m, trace.MustNewDataset(kept))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := filepath.Join(t.TempDir(), "ref.mstore")
+	if err := store.WriteDataset(refDir, res.Dataset, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	sameDatasets(t, loadStore(t, refDir), loadStore(t, outDir))
+}
