@@ -44,6 +44,7 @@ func init() {
 		o.DisableSwapping = p.Bool("no-swap", false)
 		o.DisableSuppression = p.Bool("no-suppress", false)
 		o.DisableSmoothing = p.Bool("no-smooth", false)
+		o.DisableZones = p.Bool("no-zones", false)
 		o.PseudonymPrefix = p.String("prefix", o.PseudonymPrefix)
 		if err := o.validate(); err != nil {
 			return nil, err
@@ -160,9 +161,11 @@ func (m w4mMechanism) Apply(ctx context.Context, d *Dataset) (*Result, error) {
 
 // The built-in per-trace functions mirror exactly what the batch Apply
 // does to each individual trace, which is what makes store-native runs
-// (Runner.RunStore) Load-identical to the in-memory path. pipeline and
-// w4m stay batch-only: mix-zone swapping and (k,δ)-aggregation need
-// every trace at once.
+// (Runner.RunStore) Load-identical to the in-memory path. w4m stays
+// batch-only — (k,δ)-aggregation needs every trace at once — and so
+// does any pipeline containing the mix-zone stage; a zone-free,
+// prefix-free pipeline composes its stages' per-trace forms instead
+// (see pipelineMechanism.PerTrace).
 
 func perTraceRaw() PerTraceFunc {
 	return func(ctx context.Context, tr *Trace) (*Trace, error) {

@@ -10,7 +10,10 @@
 // the two stores are streamed in lockstep (store.ScanTracesPaired) and
 // folded through mergeable metric accumulators (metrics.EvalStore), so
 // neither dataset is ever resident — memory stays flat however large
-// the stores. The -bbox/-from/-to/-users filters restrict either path
+// the stores. The POI attack streams the same way (-stays works on both
+// paths): published traces run one at a time through the incremental
+// stay detector of internal/risk, so only per-user POI centers are
+// retained. The -bbox/-from/-to/-users filters restrict either path
 // to a slice of the data; on stores they prune whole blocks on footer
 // stats without reading them.
 //
@@ -34,9 +37,9 @@ import (
 	"strings"
 
 	"mobipriv"
-	"mobipriv/internal/attack/poiattack"
 	"mobipriv/internal/cliutil"
 	"mobipriv/internal/metrics"
+	"mobipriv/internal/risk"
 	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
@@ -56,7 +59,7 @@ func run(args []string, stdout io.Writer) error {
 		anonPath  = fs.String("anon", "", "anonymized dataset (.csv/.jsonl/.plt[.gz] or .mstore)")
 		mechSpec  = fs.String("mechanism", "", "anonymize -orig on the fly with this registry spec instead of reading -anon")
 		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for scanning and on-the-fly anonymization")
-		staysPath = fs.String("stays", "", "ground-truth stays CSV from mobigen (enables the POI attack; batch path only)")
+		staysPath = fs.String("stays", "", "ground-truth stays CSV from mobigen (enables the POI attack)")
 		cell      = fs.Float64("cell", 500, "grid cell size in meters for coverage/OD/popularity")
 		queries   = fs.Int("queries", 100, "number of random range queries")
 		seed      = fs.Int64("seed", 1, "seed deriving the range-query centers")
@@ -88,14 +91,22 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	opts := metrics.EvalOptions{CellSize: *cell, Queries: *queries, Seed: *seed}
+	if *staysPath != "" {
+		stays, err := readStays(*staysPath)
+		if err != nil {
+			return err
+		}
+		cfg := risk.DefaultAttackConfig()
+		opts.Attack = &metrics.AttackOptions{
+			Truth:  risk.TruthPOIs(stays, cfg.MatchRadius),
+			Config: cfg,
+		}
+	}
 
 	// Two native stores and no on-the-fly mechanism: evaluate
 	// store-natively, streaming both stores in lockstep without ever
 	// materializing a dataset.
 	if strings.HasSuffix(*origPath, ".mstore") && strings.HasSuffix(*anonPath, ".mstore") && *mechSpec == "" {
-		if *staysPath != "" {
-			return errors.New("-stays (the POI attack) needs the dataset in memory; evaluate a text export instead (mobistore cat)")
-		}
 		return runStoreNative(*origPath, *anonPath, opts, filters, *workers, stdout)
 	}
 
@@ -143,23 +154,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := report.WriteText(stdout); err != nil {
-		return err
-	}
-
-	if *staysPath != "" {
-		stays, err := readStays(*staysPath)
-		if err != nil {
-			return err
-		}
-		atk, err := poiattack.Evaluate(anon, stays, poiattack.DefaultConfig())
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "\nPOI retrieval attack:\n  per-user: %s\n  global:   %s\n",
-			atk.PerUser, atk.Global)
-	}
-	return nil
+	return report.WriteText(stdout)
 }
 
 // runStoreNative streams the two stores through metrics.EvalStore —

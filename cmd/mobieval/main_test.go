@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"mobipriv"
 	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
 	"mobipriv/internal/traceio"
 )
 
@@ -21,7 +23,10 @@ import (
 //	go test ./cmd/mobieval -run TestGoldenReport -args -update
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// fixture writes raw.csv, anon.csv and stays.csv into a temp dir.
+// fixture writes raw.csv, anon.csv and stays.csv into a temp dir. Both
+// datasets are quantized to store resolution (1e-7 degrees, microsecond
+// times) so that a .mstore round trip of the CSVs is lossless and the
+// batch and store-native paths evaluate bit-identical data.
 func fixture(t *testing.T) (raw, anon, stays string) {
 	t.Helper()
 	cfg := synth.DefaultCommuterConfig()
@@ -39,6 +44,8 @@ func fixture(t *testing.T) (raw, anon, stays string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	quantize(g.Dataset)
+	quantize(res.Dataset)
 	dir := t.TempDir()
 	raw = filepath.Join(dir, "raw.csv")
 	anon = filepath.Join(dir, "anon.csv")
@@ -72,6 +79,18 @@ func fixture(t *testing.T) (raw, anon, stays string) {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// quantize snaps every point to store resolution in place.
+func quantize(d *trace.Dataset) {
+	for _, tr := range d.Traces() {
+		for i := range tr.Points {
+			p := &tr.Points[i]
+			p.Lat = math.Round(p.Lat*store.CoordScale) / store.CoordScale
+			p.Lng = math.Round(p.Lng*store.CoordScale) / store.CoordScale
+			p.Time = time.UnixMicro(p.Time.UnixMicro()).UTC()
+		}
+	}
 }
 
 func TestRunFullReport(t *testing.T) {
@@ -252,12 +271,55 @@ func TestRunFiltered(t *testing.T) {
 	}
 }
 
-// TestStoreNativeRefusesStays pins the explicit error: the POI attack
-// needs a dataset in memory, which the store-native path never builds.
-func TestStoreNativeRefusesStays(t *testing.T) {
-	err := run([]string{"-orig", "a.mstore", "-anon", "b.mstore", "-stays", "s.csv"}, &bytes.Buffer{})
-	if err == nil || !strings.Contains(err.Error(), "-stays") {
-		t.Fatalf("err = %v, want -stays explanation", err)
+// TestStoreNativeStaysMatchesBatch pins that -stays now works on the
+// store-native path and scores the attack identically to the batch
+// path on the same data: the attack section of both reports must be
+// byte-for-byte equal.
+func TestStoreNativeStaysMatchesBatch(t *testing.T) {
+	raw, anon, stays := fixture(t)
+	var batch bytes.Buffer
+	if err := run([]string{"-orig", raw, "-anon", anon, "-stays", stays}, &batch); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	toStore := func(csvPath, name string) string {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		d, err := traceio.ReadCSV(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := store.WriteDataset(path, d, store.Options{Shards: 3, BlockPoints: 16}); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	var native bytes.Buffer
+	err := run([]string{
+		"-orig", toStore(raw, "raw.mstore"), "-anon", toStore(anon, "anon.mstore"),
+		"-stays", stays,
+	}, &native)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cutAttack := func(s string) string {
+		_, atk, ok := strings.Cut(s, "\nPOI retrieval attack:\n")
+		if !ok {
+			t.Fatalf("attack section missing:\n%s", s)
+		}
+		// The store-native report appends its stats trailer after the
+		// attack section.
+		atk, _, _ = strings.Cut(atk, "\n\nstore-native eval: ")
+		return strings.TrimRight(atk, "\n")
+	}
+	if got, want := cutAttack(native.String()), cutAttack(batch.String()); got != want {
+		t.Errorf("store-native attack scores differ from batch:\n--- batch\n%s\n--- native\n%s", want, got)
 	}
 }
 

@@ -18,7 +18,13 @@
 //	GET  /out      stream anonymized output as NDJSON until the client
 //	               disconnects (points anonymized after connect).
 //	GET  /stats    JSON: per-shard queue depth and user counts,
-//	               points/sec, evictions.
+//	               points/sec, evictions, risk-monitor counts.
+//	GET  /risk     JSON: per-user privacy-risk state from the live
+//	               monitor (internal/risk) watching the anonymized
+//	               output — users whose published points still show a
+//	               POI recurring across distinct days are flagged.
+//	               ?user=U returns one user (404 when unobserved).
+//	POST /risk/reset  drop monitor state (?user=U for one user).
 //
 // Quickstart against a generated dataset:
 //
@@ -48,6 +54,7 @@ import (
 	"time"
 
 	"mobipriv"
+	"mobipriv/internal/risk"
 	"mobipriv/internal/store"
 	"mobipriv/internal/stream"
 	"mobipriv/internal/trace"
@@ -73,6 +80,7 @@ func run(args []string) error {
 		sink      = fs.String("sink", "", "append anonymized output to this NDJSON file, or to a native store when the path ends in .mstore")
 		pseudonym = fs.String("pseudonym", "", "relabel output users with this pseudonym prefix")
 		seed      = fs.Int64("seed", 1, "pseudonym seed")
+		riskDays  = fs.Int("risk-min-days", 2, "flag users whose output shows a POI recurring on this many distinct days (0 disables the monitor)")
 		list      = fs.Bool("list-streaming", false, "list streaming-capable mechanisms and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,13 +92,14 @@ func run(args []string) error {
 	}
 
 	srv, err := newServer(serverConfig{
-		Spec:      *mech,
-		Shards:    *shards,
-		Queue:     *queue,
-		Batch:     *batch,
-		TTL:       *ttl,
-		Pseudonym: *pseudonym,
-		Seed:      *seed,
+		Spec:        *mech,
+		Shards:      *shards,
+		Queue:       *queue,
+		Batch:       *batch,
+		TTL:         *ttl,
+		Pseudonym:   *pseudonym,
+		Seed:        *seed,
+		RiskMinDays: *riskDays,
 	})
 	if err != nil {
 		return err
@@ -172,6 +181,9 @@ type serverConfig struct {
 	TTL       time.Duration
 	Pseudonym string
 	Seed      int64
+	// RiskMinDays configures the live risk monitor's recurrence
+	// threshold; 0 disables monitoring entirely.
+	RiskMinDays int
 }
 
 // server owns the engine and fans its output to the sink file and the
@@ -181,6 +193,7 @@ type server struct {
 	mechName string
 	batch    int
 	started  time.Time
+	mon      *risk.Monitor // nil when monitoring is disabled
 
 	mu        sync.Mutex
 	sinkFile  io.Writer
@@ -212,6 +225,13 @@ func newServer(cfg serverConfig) (*server, error) {
 		started:  time.Now(),
 		subs:     make(map[int]chan []stream.Update),
 	}
+	if cfg.RiskMinDays > 0 {
+		mcfg := risk.DefaultMonitorConfig()
+		mcfg.MinDays = cfg.RiskMinDays
+		if srv.mon, err = risk.NewMonitor(mcfg); err != nil {
+			return nil, err
+		}
+	}
 	pseudo := stream.Pseudonymize{Prefix: cfg.Pseudonym, Seed: cfg.Seed}
 	eng, err := stream.NewEngine(stream.Config{
 		Shards:     cfg.Shards,
@@ -222,6 +242,12 @@ func newServer(cfg serverConfig) (*server, error) {
 		mech := stream.Mechanism(factory(user))
 		if cfg.Pseudonym != "" {
 			mech = stream.Chain(mech, pseudo.New(user))
+		}
+		if srv.mon != nil {
+			// The tap wraps the WHOLE chain: the monitor sees exactly
+			// the points the service publishes, keyed by input user so
+			// the risk verdict names an accountable identity.
+			mech = riskTap{inner: mech, mon: srv.mon, user: user}
 		}
 		return mech
 	})
@@ -295,6 +321,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("GET /out", s.handleOut)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /risk", s.handleRisk)
+	mux.HandleFunc("POST /risk/reset", s.handleRiskReset)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -398,6 +426,84 @@ func (s *server) handleOut(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// riskTap wraps a user's whole mechanism chain and mirrors its
+// published output into the risk monitor. Flush forwards the trailing
+// points first, then closes the monitor's open stay — evidence
+// (clusters, day counts) survives engine flushes and evictions by
+// design: recurrence across days is exactly what the monitor is for.
+type riskTap struct {
+	inner stream.Mechanism
+	mon   *risk.Monitor
+	user  string
+}
+
+func (t riskTap) Push(p trace.Point) []trace.Point {
+	out := t.inner.Push(p)
+	t.mon.Observe(t.user, out...)
+	return out
+}
+
+func (t riskTap) Flush() []trace.Point {
+	out := t.inner.Flush()
+	t.mon.Observe(t.user, out...)
+	t.mon.EndTrace(t.user)
+	return out
+}
+
+// OutUser forwards the inner chain's relabeling so the tap stays
+// invisible to the engine.
+func (t riskTap) OutUser(in string) string {
+	if r, ok := t.inner.(stream.Relabeler); ok {
+		return r.OutUser(in)
+	}
+	return in
+}
+
+// riskResponse is the /risk wire format.
+type riskResponse struct {
+	MinDays int             `json:"min_days"`
+	Users   int             `json:"users"`
+	Flagged int             `json:"flagged"`
+	Risks   []risk.UserRisk `json:"risks"`
+}
+
+func (s *server) handleRisk(w http.ResponseWriter, r *http.Request) {
+	if s.mon == nil {
+		http.Error(w, "risk monitoring disabled (-risk-min-days 0)", http.StatusNotFound)
+		return
+	}
+	if user := r.URL.Query().Get("user"); user != "" {
+		ur, ok := s.mon.User(user)
+		if !ok {
+			http.Error(w, "user not observed", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ur)
+		return
+	}
+	risks := s.mon.Snapshot()
+	resp := riskResponse{MinDays: s.mon.Config().MinDays, Users: len(risks), Risks: risks}
+	for _, ur := range risks {
+		if ur.Flagged {
+			resp.Flagged++
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleRiskReset(w http.ResponseWriter, r *http.Request) {
+	if s.mon == nil {
+		http.Error(w, "risk monitoring disabled (-risk-min-days 0)", http.StatusNotFound)
+		return
+	}
+	if user := r.URL.Query().Get("user"); user != "" {
+		writeJSON(w, map[string]any{"reset": s.mon.Reset(user)})
+		return
+	}
+	s.mon.ResetAll()
+	writeJSON(w, map[string]any{"reset": true})
+}
+
 // statsResponse is the /stats wire format.
 type statsResponse struct {
 	Mechanism   string              `json:"mechanism"`
@@ -409,6 +515,8 @@ type statsResponse struct {
 	ActiveUsers int                 `json:"active_users"`
 	DroppedSub  uint64              `json:"dropped_subscriber_points"`
 	SinkFails   uint64              `json:"sink_write_failures"`
+	RiskUsers   int                 `json:"risk_users"`
+	RiskFlagged int                 `json:"risk_flagged"`
 	Shards      []stream.ShardStats `json:"shards"`
 }
 
@@ -428,6 +536,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if up > 0 {
 		resp.PointsPerS = float64(st.In) / up
+	}
+	if s.mon != nil {
+		resp.RiskUsers, resp.RiskFlagged = s.mon.Counts()
 	}
 	writeJSON(w, resp)
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mobipriv"
+	"mobipriv/internal/risk"
 	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
@@ -276,5 +277,148 @@ func TestServeBadIngest(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad ingest status %d, want 400", resp.StatusCode)
+	}
+}
+
+// riskDataset synthesizes multi-day commuters: the home/work dwells
+// recur every day, which is exactly the recurrence the risk monitor
+// flags.
+func riskDataset(t *testing.T, users, days int) *trace.Dataset {
+	t.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = users
+	cfg.Days = days
+	cfg.Sampling = 2 * time.Minute
+	g, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Dataset
+}
+
+func getRisk(t *testing.T, url string) riskResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/risk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/risk status %d", resp.StatusCode)
+	}
+	var rr riskResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+// TestServeRiskFlagsRawNotPromesse is the acceptance check for the live
+// monitor: serving raw data, every multi-day commuter is flagged for a
+// recurrent POI; serving promesse-smoothed data, nobody is, because the
+// published points are spaced at epsilon (100 m) and never dwell within
+// the monitor's 50 m stay diameter.
+func TestServeRiskFlagsRawNotPromesse(t *testing.T) {
+	d := riskDataset(t, 3, 3)
+
+	// Raw path, with pseudonymized output: the monitor must still key
+	// risk by the INPUT identity — that is who the operator can warn.
+	srv, hs, stop := startServer(t, serverConfig{Spec: "raw", Shards: 3, Pseudonym: "p", Seed: 1, RiskMinDays: 2})
+	postNDJSON(t, hs.URL, d)
+	postFlush(t, hs.URL)
+
+	rr := getRisk(t, hs.URL)
+	if rr.MinDays != 2 || rr.Users != d.Len() {
+		t.Fatalf("risk = %+v, want min_days=2 users=%d", rr, d.Len())
+	}
+	if rr.Flagged != d.Len() {
+		t.Fatalf("raw serving flagged %d/%d users, want all: %+v", rr.Flagged, d.Len(), rr.Risks)
+	}
+	for _, ur := range rr.Risks {
+		if !ur.Flagged || ur.MaxDays < 2 || ur.TopPOI == nil {
+			t.Errorf("user %s: %+v, want flagged with a top POI across >=2 days", ur.User, ur)
+		}
+		if d.ByUser(ur.User) == nil {
+			t.Errorf("risk keyed by %q, want an input (pre-pseudonym) user", ur.User)
+		}
+	}
+
+	// Single-user view and /stats counts.
+	one := d.Traces()[0].User
+	resp, err := http.Get(hs.URL + "/risk?user=" + one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur risk.UserRisk
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ur.User != one || !ur.Flagged {
+		t.Errorf("/risk?user=%s = %+v", one, ur)
+	}
+	if resp, err = http.Get(hs.URL + "/risk?user=no-such-user"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown user status %d, want 404", resp.StatusCode)
+	}
+	users, flagged := srv.mon.Counts()
+	resp, err = http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.RiskUsers != users || st.RiskFlagged != flagged || st.RiskFlagged != d.Len() {
+		t.Errorf("stats risk counts = %d/%d, want %d/%d", st.RiskUsers, st.RiskFlagged, users, flagged)
+	}
+
+	// Reset clears the slate.
+	resp, err = http.Post(hs.URL+"/risk/reset", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rr = getRisk(t, hs.URL); rr.Users != 0 || rr.Flagged != 0 {
+		t.Errorf("after reset: %+v, want empty", rr)
+	}
+	stop()
+
+	// Promesse path: same input, nobody flagged.
+	_, hs2, stop2 := startServer(t, serverConfig{Spec: "promesse", Shards: 3, RiskMinDays: 2})
+	defer stop2()
+	postNDJSON(t, hs2.URL, d)
+	postFlush(t, hs2.URL)
+	rr = getRisk(t, hs2.URL)
+	if rr.Flagged != 0 {
+		t.Fatalf("promesse serving flagged %d users, want 0: %+v", rr.Flagged, rr.Risks)
+	}
+}
+
+// TestServeRiskDisabled pins that -risk-min-days 0 removes the monitor
+// and its endpoints 404.
+func TestServeRiskDisabled(t *testing.T) {
+	srv, hs, stop := startServer(t, serverConfig{Spec: "raw", Shards: 1})
+	defer stop()
+	if srv.mon != nil {
+		t.Fatal("monitor built with RiskMinDays=0")
+	}
+	for _, req := range []func() (*http.Response, error){
+		func() (*http.Response, error) { return http.Get(hs.URL + "/risk") },
+		func() (*http.Response, error) { return http.Post(hs.URL+"/risk/reset", "", nil) },
+	} {
+		resp, err := req()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("status %d, want 404 when disabled", resp.StatusCode)
+		}
 	}
 }

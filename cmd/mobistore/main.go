@@ -9,6 +9,7 @@
 //	mobistore info data.mstore [-blocks]
 //	mobistore cat data.mstore [-format csv|jsonl] [-users a,b] [-bbox minLat,minLng,maxLat,maxLng] [-from t] [-to t]
 //	mobistore compact -in frag.mstore -out tidy.mstore [-shards 8]
+//	mobistore diff orig.mstore anon.mstore [-workers 4]
 //
 // build streams any traceio input (CSV, JSONL, Geolife PLT, each
 // optionally gzipped) into a store without materializing the dataset.
@@ -17,7 +18,10 @@
 // typically one grown by mobiserve's streaming sink — merging each
 // user's fragmented blocks into contiguous sorted runs; the merge
 // streams trace-by-trace (store.Compact), so compacting a store never
-// loads the dataset.
+// loads the dataset. diff pairs two stores user by user
+// (store.ScanTracesPaired) and reports each user's divergence — point
+// counts and the anonymized points' mean/max displacement from the
+// original path — without loading either dataset.
 package main
 
 import (
@@ -26,10 +30,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"mobipriv/internal/cliutil"
+	"mobipriv/internal/metrics"
 	"mobipriv/internal/par"
 	"mobipriv/internal/store"
 	"mobipriv/internal/trace"
@@ -45,7 +52,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mobistore <build|info|cat|compact> [flags] (see go doc mobipriv/cmd/mobistore)")
+		return fmt.Errorf("usage: mobistore <build|info|cat|compact|diff> [flags] (see go doc mobipriv/cmd/mobistore)")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -57,8 +64,10 @@ func run(args []string, stdout io.Writer) error {
 		return runCat(rest, stdout)
 	case "compact":
 		return runCompact(rest, stdout)
+	case "diff":
+		return runDiff(rest, stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want build, info, cat or compact)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want build, info, cat, compact or diff)", cmd)
 	}
 }
 
@@ -244,5 +253,97 @@ func runCompact(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "compacted %s (%d blocks) -> %s (%d blocks), %d users, %d points (peak %d users buffered)\n",
 		*in, st.BlocksIn, *out, outBlocks, st.Users, st.Points, st.PeakBufferedUsers)
+	return nil
+}
+
+// diffRow is one user's divergence between the two stores.
+type diffRow struct {
+	user              string
+	origPts, anonPts  int
+	meanDisp, maxDisp float64
+}
+
+// runDiff aligns two stores user by user and prints how far each
+// user's anonymized trace strays from the original path. The scan is
+// paired and streaming: at any moment only the traces of the users in
+// flight are in memory.
+func runDiff(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mobistore diff", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "parallel segment scanners (0 = one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two store paths (original, anonymized)")
+	}
+	orig, err := store.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer orig.Close()
+	anon, err := store.Open(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	defer anon.Close()
+
+	var (
+		mu   sync.Mutex
+		rows []diffRow
+	)
+	st, err := store.ScanTracesPaired(context.Background(), orig, anon,
+		store.ScanOptions{Workers: *workers}, func(o, a *trace.Trace) error {
+			if o == nil || a == nil {
+				return nil // one-sided users are reported from the stats
+			}
+			row := diffRow{user: o.User, origPts: o.Len(), anonPts: a.Len()}
+			if a.Len() > 0 {
+				disp, err := metrics.TraceDistortion(o, a)
+				if err != nil {
+					return fmt.Errorf("user %s: %w", o.User, err)
+				}
+				var sum float64
+				for _, d := range disp {
+					sum += d
+					if d > row.maxDisp {
+						row.maxDisp = d
+					}
+				}
+				row.meanDisp = sum / float64(len(disp))
+			}
+			mu.Lock()
+			rows = append(rows, row)
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].user < rows[j].user })
+	fmt.Fprintf(stdout, "%-20s %10s %10s %12s %12s\n", "user", "orig-pts", "anon-pts", "mean-disp-m", "max-disp-m")
+	var totOrig, totAnon int
+	var meanSum float64
+	maxDisp := 0.0
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "%-20s %10d %10d %12.1f %12.1f\n", r.user, r.origPts, r.anonPts, r.meanDisp, r.maxDisp)
+		totOrig += r.origPts
+		totAnon += r.anonPts
+		meanSum += r.meanDisp
+		if r.maxDisp > maxDisp {
+			maxDisp = r.maxDisp
+		}
+	}
+	fmt.Fprintf(stdout, "paired %d users (%d -> %d points)", len(rows), totOrig, totAnon)
+	if len(rows) > 0 {
+		fmt.Fprintf(stdout, ", mean displacement %.1f m, max %.1f m", meanSum/float64(len(rows)), maxDisp)
+	}
+	fmt.Fprintln(stdout)
+	for _, u := range st.OnlyOrig {
+		fmt.Fprintf(stdout, "only in %s: %s\n", fs.Arg(0), u)
+	}
+	for _, u := range st.OnlyAnon {
+		fmt.Fprintf(stdout, "only in %s: %s\n", fs.Arg(1), u)
+	}
 	return nil
 }

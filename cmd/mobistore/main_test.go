@@ -219,3 +219,88 @@ func TestBuildFromGzip(t *testing.T) {
 		t.Errorf("store holds %d points, want %d", s.Manifest().Points, d.TotalPoints())
 	}
 }
+
+// TestDiffReportsDivergence pins the diff subcommand: paired users get
+// point counts and displacement, one-sided users are listed, output is
+// sorted by user.
+func TestDiffReportsDivergence(t *testing.T) {
+	base := time.Date(2025, 5, 1, 9, 0, 0, 0, time.UTC)
+	mk := func(path string, traces []*trace.Trace) string {
+		t.Helper()
+		w, err := store.Create(path, store.Options{Shards: 2, BlockPoints: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range traces {
+			for _, p := range tr.Points {
+				if err := w.Append(tr.User, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// ann: anonymized ~111 m east (0.001 lng at lat 45 is ~79 m; use
+	// lat shift for a clean number). bob: identical. carl only in orig,
+	// dora only in anon.
+	origPath := mk(filepath.Join(t.TempDir(), "o.mstore"), []*trace.Trace{
+		trace.MustNew("ann", []trace.Point{
+			trace.P(45.1, 5.7, base), trace.P(45.1, 5.8, base.Add(time.Minute)),
+		}),
+		trace.MustNew("bob", []trace.Point{trace.P(-12.5, 130.8, base)}),
+		trace.MustNew("carl", []trace.Point{trace.P(1, 1, base)}),
+	})
+	anonPath := mk(filepath.Join(t.TempDir(), "a.mstore"), []*trace.Trace{
+		trace.MustNew("ann", []trace.Point{
+			trace.P(45.101, 5.7, base), trace.P(45.101, 5.75, base.Add(30*time.Second)),
+			trace.P(45.101, 5.8, base.Add(time.Minute)),
+		}),
+		trace.MustNew("bob", []trace.Point{trace.P(-12.5, 130.8, base)}),
+		trace.MustNew("dora", []trace.Point{trace.P(2, 2, base)}),
+	})
+
+	var out bytes.Buffer
+	if err := run([]string{"diff", origPath, anonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	// header, ann, bob, totals, only-orig carl, only-anon dora
+	if len(lines) != 6 {
+		t.Fatalf("diff output has %d lines, want 6:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[1], "ann") || !strings.HasPrefix(lines[2], "bob") {
+		t.Errorf("rows not sorted by user:\n%s", got)
+	}
+	annFields := strings.Fields(lines[1])
+	if annFields[1] != "2" || annFields[2] != "3" {
+		t.Errorf("ann point counts = %v, want 2 -> 3", annFields)
+	}
+	// 0.001 deg of latitude is ~111 m; every anonymized ann point sits
+	// that far from the original path.
+	for _, f := range annFields[3:5] {
+		if !strings.HasPrefix(f, "111.") {
+			t.Errorf("ann displacement %q, want ~111 m", f)
+		}
+	}
+	bobFields := strings.Fields(lines[2])
+	if bobFields[3] != "0.0" || bobFields[4] != "0.0" {
+		t.Errorf("identical bob has displacement: %v", bobFields)
+	}
+	if !strings.Contains(lines[3], "paired 2 users (3 -> 4 points)") {
+		t.Errorf("totals line = %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "carl") || !strings.Contains(lines[4], origPath) {
+		t.Errorf("missing only-orig carl: %q", lines[4])
+	}
+	if !strings.Contains(lines[5], "dora") || !strings.Contains(lines[5], anonPath) {
+		t.Errorf("missing only-anon dora: %q", lines[5])
+	}
+
+	if err := run([]string{"diff", origPath}, &out); err == nil {
+		t.Error("diff with one path accepted")
+	}
+}

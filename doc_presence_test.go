@@ -27,6 +27,9 @@ func TestPackageDocsPresent(t *testing.T) {
 		{"internal/metrics", []string{"accumulator", "merge", "bit-identical", "evalstore"}},
 		// The streaming engine: shard hashing and backpressure.
 		{"internal/stream", []string{"hash(user)", "backpressure", "bounded"}},
+		// The risk subsystem: streaming stay detection with bounded
+		// state, and the attack accumulator's merge contract.
+		{"internal/risk", []string{"stay", "accumulator", "merge", "bounded"}},
 		// The parallel substrate: worker-count-independent determinism.
 		{"internal/par", []string{"worker", "determinism", "(seed, user)"}},
 	}

@@ -4,6 +4,15 @@
 // published dataset and the attack's success is scored against the
 // generator's ground-truth stays by precision / recall / F1.
 //
+// Since the streaming rework the package is a thin batch facade over
+// internal/risk: Evaluate feeds each published trace to a
+// risk.AttackAcc (no whole-dataset state, stays detected incrementally)
+// and returns its Result. Scores are pinned identical to the historical
+// in-memory implementation by TestEvaluateMatchesLegacy. Store-native
+// callers — mobieval -stays — skip this facade and drive the
+// accumulator straight from store.ScanTracesPaired via
+// metrics.EvalOptions.Attack.
+//
 // Two scorings are reported:
 //
 //   - PerUser: extracted POIs of published identity u are matched against
@@ -16,171 +25,46 @@ package poiattack
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"mobipriv/internal/geo"
-	"mobipriv/internal/poi"
+	"mobipriv/internal/risk"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
 )
 
 // Score is a precision/recall/F1 triple with raw counts.
-type Score struct {
-	Precision float64
-	Recall    float64
-	F1        float64
-	Truth     int // number of ground-truth POIs
-	Extracted int // number of POIs the attack produced
-	Matched   int
-}
-
-func newScore(truth, extracted, matched int) Score {
-	s := Score{Truth: truth, Extracted: extracted, Matched: matched}
-	if extracted > 0 {
-		s.Precision = float64(matched) / float64(extracted)
-	}
-	if truth > 0 {
-		s.Recall = float64(matched) / float64(truth)
-	}
-	if s.Precision+s.Recall > 0 {
-		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
-	}
-	return s
-}
-
-// String implements fmt.Stringer.
-func (s Score) String() string {
-	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (truth=%d extracted=%d matched=%d)",
-		s.Precision, s.Recall, s.F1, s.Truth, s.Extracted, s.Matched)
-}
+type Score = risk.Score
 
 // Result bundles the two scorings of one attack run.
-type Result struct {
-	PerUser Score
-	Global  Score
-}
+type Result = risk.Result
 
 // Config parameterizes the attack.
-type Config struct {
-	// POI is the extraction configuration the adversary uses.
-	POI poi.Config
-	// MatchRadius is the distance in meters within which an extracted
-	// POI counts as having retrieved a true POI.
-	MatchRadius float64
-}
+type Config = risk.AttackConfig
 
 // DefaultConfig returns the attack settings used across the experiments.
-func DefaultConfig() Config {
-	return Config{POI: poi.DefaultConfig(), MatchRadius: 250}
-}
+func DefaultConfig() Config { return risk.DefaultAttackConfig() }
 
 // TruePOIs clusters the generator's ground-truth stays into per-user POI
 // location lists (stays at the same place merge, mirroring what the
 // extraction pipeline produces on raw data).
 func TruePOIs(stays []synth.Stay, mergeRadius float64) map[string][]geo.Point {
-	byUser := make(map[string][]poi.Stay)
-	for _, s := range stays {
-		byUser[s.User] = append(byUser[s.User], poi.Stay{
-			Center: s.Center, Enter: s.Enter, Leave: s.Leave,
-		})
-	}
-	out := make(map[string][]geo.Point, len(byUser))
-	for u, ss := range byUser {
-		for _, p := range poi.Cluster(ss, mergeRadius) {
-			out[u] = append(out[u], p.Center)
-		}
-	}
-	return out
+	return risk.TruthPOIs(stays, mergeRadius)
 }
 
 // Evaluate runs the attack on the published dataset and scores it
 // against the ground truth.
 func Evaluate(published *trace.Dataset, stays []synth.Stay, cfg Config) (Result, error) {
-	if cfg.MatchRadius <= 0 {
-		return Result{}, fmt.Errorf("poiattack: MatchRadius %v must be positive", cfg.MatchRadius)
-	}
-	extracted, err := poi.ExtractAll(published, cfg.POI)
+	acc, err := risk.NewAttackAcc(TruePOIs(stays, cfg.MatchRadius), cfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("poiattack: %w", err)
 	}
-	truth := TruePOIs(stays, cfg.MatchRadius)
-
-	var res Result
-	// Per-user scoring.
-	var tTruth, tExtr, tMatch int
-	for u, truePts := range truth {
-		var extrPts []geo.Point
-		for _, p := range extracted[u] {
-			extrPts = append(extrPts, p.Center)
-		}
-		m := matchCount(truePts, extrPts, cfg.MatchRadius)
-		tTruth += len(truePts)
-		tExtr += len(extrPts)
-		tMatch += m
-	}
-	// Extracted POIs of identities with no ground truth still count as
-	// false positives in the per-user view.
-	for u, ps := range extracted {
-		if _, known := truth[u]; !known {
-			tExtr += len(ps)
+	if published != nil {
+		for _, tr := range published.Traces() {
+			acc.AddTrace(tr)
 		}
 	}
-	res.PerUser = newScore(tTruth, tExtr, tMatch)
-
-	// Global scoring: locations only.
-	var allTruth, allExtr []geo.Point
-	for _, pts := range truth {
-		allTruth = append(allTruth, pts...)
-	}
-	for _, ps := range extracted {
-		for _, p := range ps {
-			allExtr = append(allExtr, p.Center)
-		}
-	}
-	res.Global = newScore(len(allTruth), len(allExtr), matchCount(allTruth, allExtr, cfg.MatchRadius))
-	return res, nil
-}
-
-// matchCount greedily matches extracted points to truth points within
-// radius, each point used at most once, closest pairs first. Greedy
-// matching on sorted distances is optimal for counting matches in this
-// bipartite threshold setting in all but adversarial geometries, and is
-// deterministic.
-func matchCount(truth, extracted []geo.Point, radius float64) int {
-	type pair struct {
-		t, e int
-		d    float64
-	}
-	var pairs []pair
-	for ti, tp := range truth {
-		for ei, ep := range extracted {
-			if d := geo.FastDistance(tp, ep); d <= radius {
-				pairs = append(pairs, pair{t: ti, e: ei, d: d})
-			}
-		}
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].d != pairs[j].d {
-			return pairs[i].d < pairs[j].d
-		}
-		if pairs[i].t != pairs[j].t {
-			return pairs[i].t < pairs[j].t
-		}
-		return pairs[i].e < pairs[j].e
-	})
-	usedT := make(map[int]bool)
-	usedE := make(map[int]bool)
-	matched := 0
-	for _, p := range pairs {
-		if usedT[p.t] || usedE[p.e] {
-			continue
-		}
-		usedT[p.t] = true
-		usedE[p.e] = true
-		matched++
-	}
-	return matched
+	return acc.Result(), nil
 }
 
 // HideDuration is a convenience threshold re-exported for callers that

@@ -6,7 +6,9 @@ import (
 
 	"mobipriv/internal/core"
 	"mobipriv/internal/geo"
+	"mobipriv/internal/poi"
 	"mobipriv/internal/synth"
+	"mobipriv/internal/trace"
 )
 
 func commuters(t testing.TB, users int) *synth.Generated {
@@ -91,37 +93,33 @@ func TestTruePOIsMergesRepeatStays(t *testing.T) {
 	}
 }
 
-func TestMatchCountOneToOne(t *testing.T) {
-	base := geo.Point{Lat: 45.76, Lng: 4.83}
-	truth := []geo.Point{base, geo.Destination(base, 90, 1000)}
-	// Two extracted POIs both near the first truth point: only one match.
-	extracted := []geo.Point{geo.Offset(base, 10, 0), geo.Offset(base, -10, 0)}
-	if got := matchCount(truth, extracted, 250); got != 1 {
-		t.Fatalf("matchCount = %d, want 1 (one-to-one)", got)
+// TestEvaluateMatchesLegacy pins the streaming-backed Evaluate to the
+// historical whole-dataset implementation (kept verbatim in
+// legacy_test.go): identical scores, raw and anonymized alike.
+func TestEvaluateMatchesLegacy(t *testing.T) {
+	g := commuters(t, 10)
+	sm, _, err := core.SmoothDataset(g.Dataset, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Perfect pairing.
-	extracted = []geo.Point{geo.Offset(base, 10, 0), geo.Offset(geo.Destination(base, 90, 1000), 5, 5)}
-	if got := matchCount(truth, extracted, 250); got != 2 {
-		t.Fatalf("matchCount = %d, want 2", got)
+	cfgs := []Config{
+		DefaultConfig(),
+		{POI: poi.Config{MaxDiameter: 100, MinDuration: 10 * time.Minute, MergeRadius: 150}, MatchRadius: 100},
 	}
-	// Nothing in range.
-	extracted = []geo.Point{geo.Destination(base, 0, 5000)}
-	if got := matchCount(truth, extracted, 250); got != 0 {
-		t.Fatalf("matchCount = %d, want 0", got)
-	}
-}
-
-func TestScoreString(t *testing.T) {
-	s := newScore(10, 8, 6)
-	if s.Precision != 0.75 || s.Recall != 0.6 {
-		t.Fatalf("score = %+v", s)
-	}
-	if s.String() == "" {
-		t.Fatal("empty String()")
-	}
-	// Degenerate: no truth, no extraction.
-	z := newScore(0, 0, 0)
-	if z.Precision != 0 || z.Recall != 0 || z.F1 != 0 {
-		t.Fatalf("zero score = %+v", z)
+	for _, cfg := range cfgs {
+		for name, ds := range map[string]*trace.Dataset{"raw": g.Dataset, "smoothed": sm} {
+			got, err := Evaluate(ds, g.Stays, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := legacyEvaluate(ds, g.Stays, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s cfg %+v: streaming Evaluate diverged from legacy\n got %+v\nwant %+v",
+					name, cfg, got, want)
+			}
+		}
 	}
 }

@@ -168,18 +168,45 @@ func Midpoint(p, q Point) Point { return Interpolate(p, q, 0.5) }
 // vectors) of the given points. It returns the zero Point and false when
 // pts is empty or the points cancel out (antipodal configurations).
 func Centroid(pts []Point) (Point, bool) {
-	if len(pts) == 0 {
+	var acc CentroidAcc
+	for _, p := range pts {
+		acc.Add(p)
+	}
+	return acc.Result()
+}
+
+// CentroidAcc accumulates a spherical centroid one point at a time —
+// the streaming form of Centroid. Adding the same points in the same
+// order produces the bit-identical result, which is what lets the
+// incremental stay detector (internal/risk) compact a run of buffered
+// observations into constant state without drifting from the batch
+// computation. The zero value is ready to use.
+type CentroidAcc struct {
+	x, y, z float64
+	n       int
+}
+
+// Add folds one point into the accumulator.
+func (a *CentroidAcc) Add(p Point) {
+	lat, lng := p.latRad(), p.lngRad()
+	a.x += math.Cos(lat) * math.Cos(lng)
+	a.y += math.Cos(lat) * math.Sin(lng)
+	a.z += math.Sin(lat)
+	a.n++
+}
+
+// N returns the number of points added.
+func (a *CentroidAcc) N() int { return a.n }
+
+// Result returns the centroid of the points added so far. It returns
+// the zero Point and false when no point was added or the points cancel
+// out (antipodal configurations).
+func (a *CentroidAcc) Result() (Point, bool) {
+	if a.n == 0 {
 		return Point{}, false
 	}
-	var x, y, z float64
-	for _, p := range pts {
-		lat, lng := p.latRad(), p.lngRad()
-		x += math.Cos(lat) * math.Cos(lng)
-		y += math.Cos(lat) * math.Sin(lng)
-		z += math.Sin(lat)
-	}
-	n := float64(len(pts))
-	x, y, z = x/n, y/n, z/n
+	n := float64(a.n)
+	x, y, z := a.x/n, a.y/n, a.z/n
 	norm := math.Sqrt(x*x + y*y + z*z)
 	if norm < 1e-12 {
 		return Point{}, false

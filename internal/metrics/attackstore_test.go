@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/risk"
+	"mobipriv/internal/store"
+	"mobipriv/internal/trace"
+)
+
+// attackTruth fabricates ground-truth POI locations near the start of
+// each original trace, so the attack has something to retrieve.
+func attackTruth(ds *trace.Dataset) map[string][]geo.Point {
+	truth := make(map[string][]geo.Point, ds.Len())
+	for _, tr := range ds.Traces() {
+		truth[tr.User] = []geo.Point{tr.Points[0].Point}
+	}
+	return truth
+}
+
+// TestEvalStoreAttackEquivalence extends the headline equivalence pin
+// to the POI attack: with EvalOptions.Attack set, the streaming
+// EvalStore reports the same attack scores as the Load-based
+// EvalDataset, across worker counts (merge-order invariance under real
+// sharding).
+func TestEvalStoreAttackEquivalence(t *testing.T) {
+	orig, anon := evalFixture(t)
+	origDS, err := orig.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonDS, err := anon.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := EvalOptions{Queries: 24}
+	opts.Attack = &AttackOptions{
+		Truth:  attackTruth(origDS),
+		Config: risk.AttackConfig{POI: risk.DefaultAttackConfig().POI, MatchRadius: 400},
+	}
+
+	want, err := EvalDataset(origDS, anonDS, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Attack == nil {
+		t.Fatal("batch report has no attack section")
+	}
+	if want.Attack.Global.Extracted == 0 {
+		t.Fatal("fixture yields no extracted POIs — equivalence would be vacuous")
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			o := opts
+			o.Scan = store.ScanOptions{Workers: workers}
+			got, _, err := EvalStore(context.Background(), orig, anon, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.Attack, got.Attack) {
+				t.Fatalf("store-native attack differs from Load path:\nwant %+v\ngot  %+v",
+					want.Attack, got.Attack)
+			}
+		})
+	}
+}
+
+// TestReportOmitsAttackByDefault pins that runs without Attack options
+// keep the report — and its golden text rendering — unchanged.
+func TestReportOmitsAttackByDefault(t *testing.T) {
+	orig, anon := evalFixture(t)
+	o := EvalOptions{Queries: 8}
+	o.Scan = store.ScanOptions{Workers: 2}
+	got, _, err := EvalStore(context.Background(), orig, anon, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attack != nil {
+		t.Fatalf("attack section present without Attack options: %+v", got.Attack)
+	}
+}
+
+// BenchmarkAttackStore is the flat-memory proof for the attack path:
+// `mobieval -stays` at 10× scale must show ~constant peak heap, because
+// the attack streams trace by trace and keeps only POI centers. Same
+// sampling shape as BenchmarkEvalStoreMemory.
+func BenchmarkAttackStore(b *testing.B) {
+	const workers, pointsEach = 4, 400
+	for _, scale := range []int{1, 10} {
+		b.Run(fmt.Sprintf("scale=%d", scale), func(b *testing.B) {
+			orig, anon := benchEvalStores(b, 60*scale, pointsEach)
+			origDS, err := orig.Load(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := benchOpts
+			o.Scan = store.ScanOptions{Workers: workers}
+			o.Attack = &AttackOptions{
+				Truth:  attackTruth(origDS),
+				Config: risk.DefaultAttackConfig(),
+			}
+			origDS = nil
+			b.ReportAllocs()
+			b.ResetTimer()
+			var peakHeap uint64
+			var points int64
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				var localPeak atomic.Uint64
+				go func() {
+					defer close(done)
+					var ms runtime.MemStats
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						runtime.ReadMemStats(&ms)
+						if ms.HeapAlloc > localPeak.Load() {
+							localPeak.Store(ms.HeapAlloc)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}()
+				r, _, err := EvalStore(context.Background(), orig, anon, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Attack == nil {
+					b.Fatal("attack section missing")
+				}
+				points += r.OrigPoints + r.AnonPoints
+				close(stop)
+				<-done
+				if localPeak.Load() > peakHeap {
+					peakHeap = localPeak.Load()
+				}
+			}
+			b.ReportMetric(float64(peakHeap)/1024, "peak-heap-KB")
+			b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mobipriv/internal/geo"
+	"mobipriv/internal/risk"
 	"mobipriv/internal/stats"
 	"mobipriv/internal/store"
 	"mobipriv/internal/trace"
@@ -43,6 +44,22 @@ type EvalOptions struct {
 	// time window, user list and worker count apply to both stores.
 	// The NoCache and Stats fields are owned by EvalStore and ignored.
 	Scan store.ScanOptions
+
+	// Attack, when non-nil, scores the POI-retrieval attack on the
+	// anonymized side alongside the utility metrics; the scores join
+	// the Report. The accumulator streams per trace, so enabling it
+	// keeps both EvalDataset and EvalStore Load-free.
+	Attack *AttackOptions
+}
+
+// AttackOptions carries the ground truth and configuration of the
+// POI-retrieval attack into an evaluation run.
+type AttackOptions struct {
+	// Truth maps each original user to their ground-truth POI
+	// locations (risk.TruthPOIs).
+	Truth map[string][]geo.Point
+	// Config parameterizes extraction and matching.
+	Config risk.AttackConfig
 }
 
 func (o EvalOptions) withDefaults() EvalOptions {
@@ -79,6 +96,8 @@ type EvalAcc struct {
 
 	origTraces, anonTraces int64
 	origPoints, anonPoints int64
+
+	attack *risk.AttackAcc // nil unless opts.Attack is set
 }
 
 // NewEvalAcc builds the accumulator bundle. Opts.Bounds must be
@@ -105,7 +124,7 @@ func NewEvalAcc(opts EvalOptions) (*EvalAcc, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EvalAcc{
+	acc := &EvalAcc{
 		opts: opts,
 		dist: NewDistortionAcc(),
 		comp: NewCompletenessAcc(),
@@ -114,7 +133,13 @@ func NewEvalAcc(opts EvalOptions) (*EvalAcc, error) {
 		od:   od,
 		pop:  pop,
 		rq:   rq,
-	}, nil
+	}
+	if opts.Attack != nil {
+		if acc.attack, err = risk.NewAttackAcc(opts.Attack.Truth, opts.Attack.Config); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
 }
 
 // AddPair folds one user's aligned traces into every metric. Either
@@ -142,6 +167,9 @@ func (a *EvalAcc) AddPair(orig, anon *trace.Trace) error {
 	a.od.AddPair(orig, anon)
 	a.pop.AddPair(orig, anon)
 	a.rq.AddPair(orig, anon)
+	if a.attack != nil && anon != nil {
+		a.attack.AddTrace(anon)
+	}
 	return nil
 }
 
@@ -158,6 +186,9 @@ func (a *EvalAcc) Merge(b *EvalAcc) {
 	a.od.Merge(b.od)
 	a.pop.Merge(b.pop)
 	a.rq.Merge(b.rq)
+	if a.attack != nil {
+		a.attack.Merge(b.attack)
+	}
 }
 
 // Report finalizes every accumulator. It fails when either side ended
@@ -191,6 +222,10 @@ func (a *EvalAcc) Report() (*Report, error) {
 	if tau, err := a.pop.Result(); err == nil {
 		r.PopularTau, r.PopularOK = tau, true
 	}
+	if a.attack != nil {
+		res := a.attack.Result()
+		r.Attack = &res
+	}
 	return r, nil
 }
 
@@ -223,6 +258,10 @@ type Report struct {
 
 	// QueryErrors holds the per-query relative errors, in query order.
 	QueryErrors []float64
+
+	// Attack holds the POI-retrieval attack scores; nil unless the run
+	// was configured with EvalOptions.Attack.
+	Attack *risk.Result
 }
 
 // WriteText renders the report in the mobieval text format — the one
@@ -266,8 +305,15 @@ func (r *Report) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	return pr("range queries (%d @%.0fm): mean rel err %.3f, p95 %.3f\n",
-		len(r.QueryErrors), r.QueryRadius, stats.Mean(r.QueryErrors), stats.Quantile(r.QueryErrors, 0.95))
+	if err := pr("range queries (%d @%.0fm): mean rel err %.3f, p95 %.3f\n",
+		len(r.QueryErrors), r.QueryRadius, stats.Mean(r.QueryErrors), stats.Quantile(r.QueryErrors, 0.95)); err != nil {
+		return err
+	}
+	if r.Attack != nil {
+		return pr("\nPOI retrieval attack:\n  per-user: %s\n  global:   %s\n",
+			r.Attack.PerUser, r.Attack.Global)
+	}
+	return nil
 }
 
 // String renders a DistSummary on one line.

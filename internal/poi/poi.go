@@ -39,7 +39,10 @@ func DefaultConfig() Config {
 	return Config{MaxDiameter: 200, MinDuration: 5 * time.Minute}
 }
 
-func (c Config) validate() error {
+// Validate checks the configuration; every consumer of a Config — the
+// batch extractor here, the streaming detector in internal/risk — runs
+// the same checks.
+func (c Config) Validate() error {
 	if c.MaxDiameter <= 0 {
 		return errors.New("poi: MaxDiameter must be positive")
 	}
@@ -52,7 +55,9 @@ func (c Config) validate() error {
 	return nil
 }
 
-func (c Config) mergeRadius() float64 {
+// EffectiveMergeRadius returns the clustering radius Extract actually
+// uses: MergeRadius when set, MaxDiameter otherwise.
+func (c Config) EffectiveMergeRadius() float64 {
 	if c.MergeRadius > 0 {
 		return c.MergeRadius
 	}
@@ -78,7 +83,7 @@ func (s Stay) Duration() time.Duration { return s.Leave.Sub(s.Enter) }
 // stops, the run [i, j) is a stay iff it spans at least MinDuration.
 // Detection then resumes at j (runs never overlap).
 func Stays(tr *trace.Trace, cfg Config) ([]Stay, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if tr == nil || tr.Len() == 0 {
@@ -229,7 +234,7 @@ func Extract(tr *trace.Trace, cfg Config) ([]POI, error) {
 	if err != nil {
 		return nil, fmt.Errorf("extract POIs of %q: %w", userOf(tr), err)
 	}
-	return Cluster(stays, cfg.mergeRadius()), nil
+	return Cluster(stays, cfg.EffectiveMergeRadius()), nil
 }
 
 // ExtractAll runs Extract over a whole dataset, returning the POIs per

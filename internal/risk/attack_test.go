@@ -1,0 +1,142 @@
+package risk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/synth"
+)
+
+func commuterFixture(t *testing.T) *synth.Generated {
+	t.Helper()
+	cfg := synth.DefaultCommuterConfig()
+	cfg.Users = 12
+	cfg.Sampling = 2 * time.Minute
+	gen, err := synth.Commuters(cfg)
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	return gen
+}
+
+func TestAttackAccMergeOrderInvariance(t *testing.T) {
+	gen := commuterFixture(t)
+	cfg := DefaultAttackConfig()
+	truth := TruthPOIs(gen.Stays, cfg.MatchRadius)
+	traces := gen.Dataset.Traces()
+
+	single, err := NewAttackAcc(truth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		single.AddTrace(tr)
+	}
+	want := single.Result()
+
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		parts := make([]*AttackAcc, 4)
+		for i := range parts {
+			if parts[i], err = NewAttackAcc(truth, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, tr := range traces {
+			parts[rng.Intn(len(parts))].AddTrace(tr)
+		}
+		rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+		root := parts[0]
+		for _, p := range parts[1:] {
+			root.Merge(p)
+		}
+		if got := root.Result(); !reflect.DeepEqual(got, want) {
+			t.Errorf("trial %d: merged result differs\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+func TestAttackAccScoresRawHighly(t *testing.T) {
+	gen := commuterFixture(t)
+	cfg := DefaultAttackConfig()
+	acc, err := NewAttackAcc(TruthPOIs(gen.Stays, cfg.MatchRadius), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range gen.Dataset.Traces() {
+		acc.AddTrace(tr)
+	}
+	res := acc.Result()
+	if res.PerUser.F1 < 0.5 {
+		t.Errorf("raw data should be highly attackable, got per-user %v", res.PerUser)
+	}
+	if res.Global.Recall < res.PerUser.Recall {
+		t.Errorf("global recall %v should be at least per-user recall %v",
+			res.Global.Recall, res.PerUser.Recall)
+	}
+}
+
+func TestAttackAccIgnoresNilAndEmpty(t *testing.T) {
+	cfg := DefaultAttackConfig()
+	acc, err := NewAttackAcc(map[string][]geo.Point{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.AddTrace(nil)
+	acc.Merge(nil)
+	res := acc.Result()
+	if res.PerUser.Extracted != 0 || res.Global.Extracted != 0 {
+		t.Errorf("empty accumulator extracted something: %+v", res)
+	}
+}
+
+func TestMatchCountOneToOne(t *testing.T) {
+	base := geo.Point{Lat: 45.76, Lng: 4.83}
+	truth := []geo.Point{base, geo.Destination(base, 90, 1000)}
+	// Two extracted POIs both near the first truth point: only one match.
+	extracted := []geo.Point{geo.Offset(base, 10, 0), geo.Offset(base, -10, 0)}
+	if got := matchCount(truth, extracted, 250); got != 1 {
+		t.Fatalf("matchCount = %d, want 1 (one-to-one)", got)
+	}
+	// Perfect pairing.
+	extracted = []geo.Point{geo.Offset(base, 10, 0), geo.Offset(geo.Destination(base, 90, 1000), 5, 5)}
+	if got := matchCount(truth, extracted, 250); got != 2 {
+		t.Fatalf("matchCount = %d, want 2", got)
+	}
+	// Nothing in range.
+	extracted = []geo.Point{geo.Destination(base, 0, 5000)}
+	if got := matchCount(truth, extracted, 250); got != 0 {
+		t.Fatalf("matchCount = %d, want 0", got)
+	}
+}
+
+func TestScoreString(t *testing.T) {
+	s := newScore(10, 8, 6)
+	if s.Precision != 0.75 || s.Recall != 0.6 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	// Degenerate: no truth, no extraction.
+	z := newScore(0, 0, 0)
+	if z.Precision != 0 || z.Recall != 0 || z.F1 != 0 {
+		t.Fatalf("zero score = %+v", z)
+	}
+}
+
+func TestNewAttackAccValidates(t *testing.T) {
+	cfg := DefaultAttackConfig()
+	cfg.MatchRadius = 0
+	if _, err := NewAttackAcc(nil, cfg); err == nil {
+		t.Error("expected error for zero MatchRadius")
+	}
+	cfg = DefaultAttackConfig()
+	cfg.POI.MaxDiameter = -1
+	if _, err := NewAttackAcc(nil, cfg); err == nil {
+		t.Error("expected error for invalid POI config")
+	}
+}

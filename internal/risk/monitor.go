@@ -1,0 +1,339 @@
+package risk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/poi"
+	"mobipriv/internal/trace"
+)
+
+// MonitorConfig parameterizes the live risk monitor.
+type MonitorConfig struct {
+	// Stay is the detector configuration run on the published stream.
+	// The default is deliberately tighter than the offline attack's
+	// 200 m: a 50 m dwell disk catches raw GPS jitter around a home or
+	// workplace but stays below promesse's 100 m spacing, so properly
+	// smoothed output forms no runs at all.
+	Stay poi.Config
+	// MinDays is the number of distinct UTC days a cluster must recur
+	// on before the user is flagged. Must be at least 1.
+	MinDays int
+	// MaxPOIs caps the cluster centroids kept per user; beyond it the
+	// weakest unflagged cluster is evicted. Must be at least 1.
+	MaxPOIs int
+	// MaxPending caps the detector's candidate-run buffer (<= 0 selects
+	// DefaultMaxPending).
+	MaxPending int
+	// MaxGap splits the stream when consecutive published points are
+	// further apart in time: the open detector run is drained and a
+	// fresh one starts. Without it, two isolated points bracketing a
+	// long silence (promesse publishes exactly that around a dwell)
+	// would read as one continuous multi-hour stay. Zero disables
+	// splitting; negative is invalid.
+	MaxGap time.Duration
+	// MinPoints is the least number of points a detected stay needs to
+	// count as evidence. A genuine dwell leak puts many samples inside
+	// the stay disk; distance-resampled output (promesse) can drop two
+	// consecutive samples within it where the route doubles back, so
+	// 2-point "stays" are noise, not recurrence. Zero accepts all.
+	MinPoints int
+}
+
+// DefaultMonitorConfig returns the monitoring operating point: 50 m /
+// 5 min / 4-point dwells observed without gaps over 30 min, clusters
+// merged within 100 m, flag on recurrence across 2 distinct days, at
+// most 32 clusters per user.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		Stay:      poi.Config{MaxDiameter: 50, MinDuration: 5 * time.Minute, MergeRadius: 100},
+		MinDays:   2,
+		MaxPOIs:   32,
+		MaxGap:    30 * time.Minute,
+		MinPoints: 4,
+	}
+}
+
+// Validate checks the configuration.
+func (c MonitorConfig) Validate() error {
+	if err := c.Stay.Validate(); err != nil {
+		return err
+	}
+	if c.MinDays < 1 {
+		return errors.New("MinDays must be at least 1")
+	}
+	if c.MaxPOIs < 1 {
+		return errors.New("MaxPOIs must be at least 1")
+	}
+	if c.MaxGap < 0 {
+		return errors.New("MaxGap must not be negative")
+	}
+	if c.MinPoints < 0 {
+		return errors.New("MinPoints must not be negative")
+	}
+	return nil
+}
+
+// Monitor watches an anonymized output stream and flags users whose
+// published points still exhibit a stable POI: a stay cluster recurring
+// on at least MinDays distinct days within the merge radius. One
+// detector plus at most MaxPOIs cluster centroids are kept per user, so
+// state is bounded regardless of stream length.
+//
+// Monitor is safe for concurrent use; mobiserve calls Observe from
+// every engine shard.
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu    sync.Mutex
+	users map[string]*userMonitor
+}
+
+// userMonitor is the per-user state: the streaming detector and the
+// online clusters its stays fold into.
+type userMonitor struct {
+	acc      *Accumulator
+	last     time.Time // time of the newest observed point, for MaxGap
+	clusters []*riskCluster
+	stays    int
+}
+
+// riskCluster is one online POI cluster: a duration-weighted running
+// centroid (mirroring poi.aggregate, anchored at the first stay's
+// center) plus the recurrence evidence.
+type riskCluster struct {
+	pr           *geo.Projector
+	wx, wy, wsum float64
+	center       geo.Point
+	visits       int
+	total        time.Duration
+	days         map[string]struct{} // distinct UTC days, capped at MinDays
+}
+
+// NewMonitor returns a monitor with the given configuration.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("risk: monitor: %w", err)
+	}
+	return &Monitor{cfg: cfg, users: make(map[string]*userMonitor)}, nil
+}
+
+// Config returns the monitor's configuration.
+func (m *Monitor) Config() MonitorConfig { return m.cfg }
+
+// Observe feeds published points of one user, in stream order.
+func (m *Monitor) Observe(user string, pts ...trace.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	um := m.userLocked(user)
+	for _, p := range pts {
+		if m.cfg.MaxGap > 0 && !um.last.IsZero() && p.Time.Sub(um.last) > m.cfg.MaxGap {
+			if s, ok := um.acc.Flush(); ok {
+				m.absorbLocked(um, s)
+			}
+		}
+		um.last = p.Time
+		if s, ok := um.acc.Push(p); ok {
+			m.absorbLocked(um, s)
+		}
+	}
+}
+
+// EndTrace marks the end of the user's current stream segment (engine
+// flush or eviction), draining a stay still open in the detector. The
+// cluster evidence survives — recurrence across days is the point.
+func (m *Monitor) EndTrace(user string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	um, ok := m.users[user]
+	if !ok {
+		return
+	}
+	if s, ok := um.acc.Flush(); ok {
+		m.absorbLocked(um, s)
+	}
+	um.last = time.Time{}
+}
+
+func (m *Monitor) userLocked(user string) *userMonitor {
+	um, ok := m.users[user]
+	if !ok {
+		acc, err := NewAccumulator(m.cfg.Stay, m.cfg.MaxPending)
+		if err != nil {
+			// cfg was validated at construction; unreachable.
+			panic(err)
+		}
+		um = &userMonitor{acc: acc}
+		m.users[user] = um
+	}
+	return um
+}
+
+// absorbLocked folds a detected stay into the user's clusters: nearest
+// centroid within the merge radius, or a new cluster (evicting the
+// weakest unflagged one at the cap).
+func (m *Monitor) absorbLocked(um *userMonitor, s poi.Stay) {
+	if s.Count < m.cfg.MinPoints {
+		return
+	}
+	um.stays++
+	radius := m.cfg.Stay.EffectiveMergeRadius()
+	var best *riskCluster
+	bestD := radius
+	for _, c := range um.clusters {
+		if d := geo.FastDistance(c.center, s.Center); d <= bestD {
+			best, bestD = c, d
+		}
+	}
+	if best == nil {
+		if len(um.clusters) >= m.cfg.MaxPOIs {
+			m.evictLocked(um)
+		}
+		best = &riskCluster{pr: geo.NewProjector(s.Center), days: make(map[string]struct{})}
+		um.clusters = append(um.clusters, best)
+	}
+	w := s.Duration().Seconds()
+	if w <= 0 {
+		w = 1 // zero-duration stays still count positionally
+	}
+	v := best.pr.ToXY(s.Center)
+	best.wx += v.X * w
+	best.wy += v.Y * w
+	best.wsum += w
+	best.center = best.pr.ToPoint(geo.XY{X: best.wx / best.wsum, Y: best.wy / best.wsum})
+	best.visits++
+	best.total += s.Duration()
+	if len(best.days) < m.cfg.MinDays {
+		best.days[s.Enter.UTC().Format("2006-01-02")] = struct{}{}
+		if len(best.days) < m.cfg.MinDays {
+			best.days[s.Leave.UTC().Format("2006-01-02")] = struct{}{}
+		}
+	}
+}
+
+// evictLocked drops the cluster with the least evidence, never
+// preferring a flagged cluster over an unflagged one.
+func (m *Monitor) evictLocked(um *userMonitor) {
+	worst := 0
+	for i, c := range um.clusters {
+		w := um.clusters[worst]
+		cf, wf := len(c.days) >= m.cfg.MinDays, len(w.days) >= m.cfg.MinDays
+		if cf != wf {
+			if !cf {
+				worst = i
+			}
+			continue
+		}
+		if c.total < w.total || (c.total == w.total && c.visits < w.visits) {
+			worst = i
+		}
+	}
+	um.clusters = append(um.clusters[:worst], um.clusters[worst+1:]...)
+}
+
+// RiskPOI describes one monitored cluster in a risk report.
+type RiskPOI struct {
+	Lat          float64 `json:"lat"`
+	Lng          float64 `json:"lng"`
+	Visits       int     `json:"visits"`
+	Days         int     `json:"days"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// UserRisk is the externally visible risk state of one user.
+type UserRisk struct {
+	User    string `json:"user"`
+	Flagged bool   `json:"flagged"`
+	Stays   int    `json:"stays"`
+	POIs    int    `json:"pois"`
+	// MaxDays is the largest distinct-day count across the user's
+	// clusters (values saturate at the configured MinDays).
+	MaxDays int `json:"max_days"`
+	// TopPOI is the cluster with the strongest recurrence evidence.
+	TopPOI *RiskPOI `json:"top_poi,omitempty"`
+}
+
+func (m *Monitor) riskLocked(user string, um *userMonitor) UserRisk {
+	r := UserRisk{User: user, Stays: um.stays, POIs: len(um.clusters)}
+	var top *riskCluster
+	for _, c := range um.clusters {
+		if days := len(c.days); days > r.MaxDays {
+			r.MaxDays = days
+		}
+		if top == nil || len(c.days) > len(top.days) ||
+			(len(c.days) == len(top.days) && c.total > top.total) {
+			top = c
+		}
+	}
+	r.Flagged = r.MaxDays >= m.cfg.MinDays
+	if top != nil {
+		r.TopPOI = &RiskPOI{
+			Lat:          top.center.Lat,
+			Lng:          top.center.Lng,
+			Visits:       top.visits,
+			Days:         len(top.days),
+			TotalSeconds: top.total.Seconds(),
+		}
+	}
+	return r
+}
+
+// User returns the risk state of one user.
+func (m *Monitor) User(user string) (UserRisk, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	um, ok := m.users[user]
+	if !ok {
+		return UserRisk{}, false
+	}
+	return m.riskLocked(user, um), true
+}
+
+// Snapshot returns the risk state of every observed user, sorted by
+// user identifier.
+func (m *Monitor) Snapshot() []UserRisk {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]UserRisk, 0, len(m.users))
+	for u, um := range m.users {
+		out = append(out, m.riskLocked(u, um))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// Counts returns the number of observed users and how many are flagged.
+func (m *Monitor) Counts() (users, flagged int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for u, um := range m.users {
+		users++
+		if m.riskLocked(u, um).Flagged {
+			flagged++
+		}
+	}
+	return users, flagged
+}
+
+// Reset drops all state of one user, reporting whether it existed.
+func (m *Monitor) Reset(user string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.users[user]
+	delete(m.users, user)
+	return ok
+}
+
+// ResetAll drops all monitor state.
+func (m *Monitor) ResetAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.users = make(map[string]*userMonitor)
+}

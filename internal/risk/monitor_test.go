@@ -1,0 +1,221 @@
+package risk
+
+import (
+	"testing"
+	"time"
+
+	"mobipriv/internal/geo"
+	"mobipriv/internal/trace"
+)
+
+// dwell emits n jittered observations around center starting at start,
+// one every step.
+func dwell(center geo.Point, start time.Time, n int, step time.Duration) []trace.Point {
+	pts := make([]trace.Point, n)
+	for i := range pts {
+		p := geo.Destination(center, float64(i*67%360), float64(i%5)*4)
+		pts[i] = trace.Point{Point: p, Time: start.Add(time.Duration(i) * step)}
+	}
+	return pts
+}
+
+func TestMonitorFlagsRecurrentPOI(t *testing.T) {
+	m, err := NewMonitor(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{Lat: 45.76, Lng: 4.83}
+
+	// Day 1: a 10-minute dwell at home. One day is not enough.
+	m.Observe("u1", dwell(home, t0, 20, 30*time.Second)...)
+	m.EndTrace("u1")
+	r, ok := m.User("u1")
+	if !ok {
+		t.Fatal("user u1 not tracked")
+	}
+	if r.Flagged {
+		t.Errorf("flagged after a single day: %+v", r)
+	}
+	if r.Stays == 0 {
+		t.Errorf("day-1 dwell produced no stay: %+v", r)
+	}
+
+	// Day 2: the same place again. Now the POI is stable.
+	m.Observe("u1", dwell(home, t0.Add(24*time.Hour), 20, 30*time.Second)...)
+	m.EndTrace("u1")
+	r, _ = m.User("u1")
+	if !r.Flagged {
+		t.Errorf("not flagged after recurrence on 2 days: %+v", r)
+	}
+	if r.TopPOI == nil {
+		t.Fatal("flagged user has no top POI")
+	}
+	if d := geo.FastDistance(geo.Point{Lat: r.TopPOI.Lat, Lng: r.TopPOI.Lng}, home); d > 50 {
+		t.Errorf("top POI %v is %0.f m from the true home", r.TopPOI, d)
+	}
+
+	users, flagged := m.Counts()
+	if users != 1 || flagged != 1 {
+		t.Errorf("Counts() = (%d, %d), want (1, 1)", users, flagged)
+	}
+
+	// Reset clears the flag.
+	if !m.Reset("u1") {
+		t.Error("Reset(u1) reported missing user")
+	}
+	if _, ok := m.User("u1"); ok {
+		t.Error("user survived Reset")
+	}
+}
+
+func TestMonitorDistinctPlacesStayUnflagged(t *testing.T) {
+	m, err := NewMonitor(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := geo.Point{Lat: 45.76, Lng: 4.83}
+	// A different dwell location every day: no recurrence anywhere.
+	for day := 0; day < 4; day++ {
+		spot := geo.Destination(base, float64(day*90), float64(1000*(day+1)))
+		m.Observe("u2", dwell(spot, t0.Add(time.Duration(day)*24*time.Hour), 20, 30*time.Second)...)
+		m.EndTrace("u2")
+	}
+	r, _ := m.User("u2")
+	if r.Flagged {
+		t.Errorf("distinct daily places should not flag: %+v", r)
+	}
+	if r.POIs < 4 {
+		t.Errorf("expected 4 clusters, got %+v", r)
+	}
+}
+
+func TestMonitorBoundsClusters(t *testing.T) {
+	cfg := DefaultMonitorConfig()
+	cfg.MaxPOIs = 3
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := geo.Point{Lat: 45.76, Lng: 4.83}
+	now := t0
+	for i := 0; i < 10; i++ {
+		spot := geo.Destination(base, float64(i*36), float64(500*(i+1)))
+		m.Observe("u3", dwell(spot, now, 15, 30*time.Second)...)
+		m.EndTrace("u3")
+		now = now.Add(time.Hour)
+	}
+	r, _ := m.User("u3")
+	if r.POIs > 3 {
+		t.Errorf("cluster cap exceeded: %+v", r)
+	}
+	if r.Stays != 10 {
+		t.Errorf("stay count = %d, want 10", r.Stays)
+	}
+}
+
+func TestMonitorSnapshotSorted(t *testing.T) {
+	m, err := NewMonitor(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{Lat: 45.76, Lng: 4.83}
+	for _, u := range []string{"zeta", "alpha", "mid"} {
+		m.Observe(u, dwell(home, t0, 15, 30*time.Second)...)
+		m.EndTrace(u)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d users, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].User >= snap[i].User {
+			t.Errorf("snapshot not sorted: %q before %q", snap[i-1].User, snap[i].User)
+		}
+	}
+	m.ResetAll()
+	if users, _ := m.Counts(); users != 0 {
+		t.Errorf("ResetAll left %d users", users)
+	}
+}
+
+func TestMonitorConfigValidate(t *testing.T) {
+	cfg := DefaultMonitorConfig()
+	cfg.MinDays = 0
+	if _, err := NewMonitor(cfg); err == nil {
+		t.Error("expected error for MinDays 0")
+	}
+	cfg = DefaultMonitorConfig()
+	cfg.MaxPOIs = 0
+	if _, err := NewMonitor(cfg); err == nil {
+		t.Error("expected error for MaxPOIs 0")
+	}
+	cfg = DefaultMonitorConfig()
+	cfg.MaxGap = -time.Minute
+	if _, err := NewMonitor(cfg); err == nil {
+		t.Error("expected error for negative MaxGap")
+	}
+	cfg = DefaultMonitorConfig()
+	cfg.MinPoints = -1
+	if _, err := NewMonitor(cfg); err == nil {
+		t.Error("expected error for negative MinPoints")
+	}
+}
+
+// TestMonitorGapSplitsRuns pins the MaxGap contract: two points at the
+// same place bracketing a long silence are NOT a stay — exactly the
+// shape distance-resampled output produces around a dwell.
+func TestMonitorGapSplitsRuns(t *testing.T) {
+	cfg := DefaultMonitorConfig()
+	cfg.MinPoints = 0 // isolate the gap rule
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{Lat: 45.76, Lng: 4.83}
+	m.Observe("u",
+		trace.Point{Point: home, Time: t0},
+		trace.Point{Point: geo.Offset(home, 5, 0), Time: t0.Add(8 * time.Hour)},
+	)
+	m.EndTrace("u")
+	if r, _ := m.User("u"); r.Stays != 0 {
+		t.Errorf("gap-bracketing pair counted as a stay: %+v", r)
+	}
+
+	// Same pair with splitting disabled IS one (degenerate) stay.
+	cfg.MaxGap = 0
+	m2, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Observe("u",
+		trace.Point{Point: home, Time: t0},
+		trace.Point{Point: geo.Offset(home, 5, 0), Time: t0.Add(8 * time.Hour)},
+	)
+	m2.EndTrace("u")
+	if r, _ := m2.User("u"); r.Stays != 1 {
+		t.Errorf("MaxGap=0 should accept the pair: %+v", r)
+	}
+}
+
+// TestMonitorMinPointsFilters pins that sparse stays below MinPoints are
+// discarded while dense dwells pass.
+func TestMonitorMinPointsFilters(t *testing.T) {
+	cfg := DefaultMonitorConfig()
+	cfg.MinPoints = 4
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := geo.Point{Lat: 45.76, Lng: 4.83}
+	// 3 points over 10 minutes: a stay, but too sparse to count.
+	m.Observe("sparse", dwell(home, t0, 3, 5*time.Minute)...)
+	m.EndTrace("sparse")
+	if r, _ := m.User("sparse"); r.Stays != 0 {
+		t.Errorf("3-point stay should be filtered at MinPoints=4: %+v", r)
+	}
+	m.Observe("dense", dwell(home, t0, 20, 30*time.Second)...)
+	m.EndTrace("dense")
+	if r, _ := m.User("dense"); r.Stays != 1 {
+		t.Errorf("dense dwell filtered: %+v", r)
+	}
+}

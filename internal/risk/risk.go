@@ -1,0 +1,26 @@
+// Package risk turns the POI-retrieval attack of Gambs et al. into a
+// streaming primitive with two faces sharing one core.
+//
+// The core is Accumulator, an online stay-point detector: points are
+// Pushed one at a time and stays fall out as soon as their run breaks,
+// with bounded per-user state (a candidate-run buffer capped at
+// MaxPending plus one O(1) compacted run summary). Uncapped, the
+// emitted stays are bit-identical to the batch detector poi.Stays —
+// same centroids, same boundaries — which is what lets the offline
+// attack move off the in-RAM dataset path.
+//
+// The first face is AttackAcc, a mergeable scorer of POI retrieval
+// (precision/recall/F1 against ground-truth stays) under the same
+// Add/Merge commutation contract as internal/metrics: feeding traces to
+// one accumulator or sharding them across many and merging produces the
+// same Result. metrics.EvalStore rides it over store.ScanTracesPaired,
+// so `mobieval -stays` now scores the attack store-natively with flat
+// memory.
+//
+// The second face is Monitor, the live guardrail: mobiserve runs one
+// detector per user over the anonymized output stream and flags users
+// whose published points still exhibit a stable POI — a cluster
+// centroid recurring on at least MinDays distinct days within the merge
+// radius. Per-user state stays bounded (capped pending buffer, at most
+// MaxPOIs cluster centroids, day sets capped at MinDays).
+package risk

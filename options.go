@@ -34,6 +34,11 @@ type Options struct {
 	DisableSuppression bool
 	// DisableSmoothing skips the smoothing stage entirely (ablation).
 	DisableSmoothing bool
+	// DisableZones skips the mix-zone stage entirely (ablation). The
+	// remaining stages are all trace-independent, so a zone-free
+	// pipeline with an empty PseudonymPrefix gains the PerTrace
+	// capability (store-native runs).
+	DisableZones bool
 	// PseudonymPrefix names output identities Prefix000, Prefix001, ...
 	// Empty disables pseudonymization (identities remain the — possibly
 	// swapped — original labels; useful for debugging).
@@ -58,14 +63,16 @@ func (o Options) validate() error {
 	if o.Epsilon <= 0 && !o.DisableSmoothing {
 		return errors.New("mobipriv: Epsilon must be positive")
 	}
-	if o.ZoneRadius <= 0 {
-		return errors.New("mobipriv: ZoneRadius must be positive")
-	}
-	if o.ZoneWindow <= 0 {
-		return errors.New("mobipriv: ZoneWindow must be positive")
-	}
-	if o.ZoneCooldown < 0 {
-		return errors.New("mobipriv: ZoneCooldown must be non-negative")
+	if !o.DisableZones {
+		if o.ZoneRadius <= 0 {
+			return errors.New("mobipriv: ZoneRadius must be positive")
+		}
+		if o.ZoneWindow <= 0 {
+			return errors.New("mobipriv: ZoneWindow must be positive")
+		}
+		if o.ZoneCooldown < 0 {
+			return errors.New("mobipriv: ZoneCooldown must be non-negative")
+		}
 	}
 	return nil
 }
@@ -73,14 +80,17 @@ func (o Options) validate() error {
 // stages translates the legacy Options into the equivalent composable
 // stage sequence.
 func (o Options) stages() []Stage {
-	stages := []Stage{MixZoneSwap{
-		Radius:          o.ZoneRadius,
-		Window:          o.ZoneWindow,
-		Cooldown:        o.ZoneCooldown,
-		Seed:            o.Seed,
-		DisableSwap:     o.DisableSwapping,
-		DisableSuppress: o.DisableSuppression,
-	}}
+	var stages []Stage
+	if !o.DisableZones {
+		stages = append(stages, MixZoneSwap{
+			Radius:          o.ZoneRadius,
+			Window:          o.ZoneWindow,
+			Cooldown:        o.ZoneCooldown,
+			Seed:            o.Seed,
+			DisableSwap:     o.DisableSwapping,
+			DisableSuppress: o.DisableSuppression,
+		})
+	}
 	if !o.DisableSmoothing {
 		stages = append(stages, SpeedSmooth{Epsilon: o.Epsilon, Trim: o.Trim})
 	}

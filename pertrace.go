@@ -34,8 +34,12 @@ type PerTracer interface {
 // forms.
 func AsPerTrace(m Mechanism) (PerTraceFunc, bool) {
 	for m != nil {
+		// A nil PerTrace means "not in this configuration" (e.g. a
+		// pipeline containing the mix-zone stage): keep unwrapping.
 		if p, ok := m.(PerTracer); ok {
-			return p.PerTrace(), true
+			if fn := p.PerTrace(); fn != nil {
+				return fn, true
+			}
 		}
 		u, ok := m.(interface{ Unwrap() Mechanism })
 		if !ok {

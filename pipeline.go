@@ -240,3 +240,63 @@ func seededPerm(n int, seed int64) []int {
 	}
 	return out
 }
+
+// PerTraceStage is the optional capability a Stage grows when its Run
+// transforms every trace independently: PerTrace returns the function
+// equivalent of Run on a single trace, or nil when THIS configuration
+// of the stage is not trace-independent (e.g. Pseudonymize with a
+// non-empty prefix numbers users globally). A pipeline whose stages all
+// return non-nil composes them into a mechanism-level PerTrace, making
+// the spec eligible for store-native runs (Runner.RunStore).
+type PerTraceStage interface {
+	Stage
+	PerTrace() PerTraceFunc
+}
+
+// PerTrace implements PerTraceStage: smoothing is independent per
+// trace, with the same drops the batch stage reports.
+func (s SpeedSmooth) PerTrace() PerTraceFunc {
+	return perTracePromesse(s.Epsilon, s.Trim)
+}
+
+// PerTrace implements PerTraceStage. Only the empty-prefix form is
+// trace-independent: assigning Prefix000, Prefix001, ... requires the
+// full sorted user list.
+func (s Pseudonymize) PerTrace() PerTraceFunc {
+	if s.Prefix != "" {
+		return nil
+	}
+	return func(ctx context.Context, tr *Trace) (*Trace, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+}
+
+// PerTrace composes the stages' per-trace forms, or returns nil when
+// any stage lacks one in its current configuration (MixZoneSwap never
+// has one — meeting detection is inherently cross-trace).
+func (p pipelineMechanism) PerTrace() PerTraceFunc {
+	fns := make([]PerTraceFunc, 0, len(p.stages))
+	for _, st := range p.stages {
+		pt, ok := st.(PerTraceStage)
+		if !ok {
+			return nil
+		}
+		fn := pt.PerTrace()
+		if fn == nil {
+			return nil
+		}
+		fns = append(fns, fn)
+	}
+	return func(ctx context.Context, tr *Trace) (*Trace, error) {
+		for _, fn := range fns {
+			var err error
+			if tr, err = fn(ctx, tr); err != nil || tr == nil {
+				return nil, err
+			}
+		}
+		return tr, nil
+	}
+}

@@ -296,3 +296,53 @@ func TestRunStoreWithFilters(t *testing.T) {
 	}
 	sameDatasets(t, loadStore(t, refDir), loadStore(t, outDir))
 }
+
+// TestRunStorePipelineNoZones pins the pipeline's conditional per-trace
+// capability: with the mix-zone stage disabled and no pseudonym prefix,
+// every remaining stage is trace-independent, so the spec runs
+// store-native and Load()s identical to the batch path. The default
+// pipeline must keep refusing (TestRunStoreRejectsBatchOnly).
+func TestRunStorePipelineNoZones(t *testing.T) {
+	spec := "pipeline(no-zones=true,prefix=)"
+	m := mobipriv.MustFromSpec(spec)
+	if _, ok := mobipriv.AsPerTrace(m); !ok {
+		t.Fatalf("%s should be per-trace capable", spec)
+	}
+	// A pseudonymizing or zone-ful pipeline must not be.
+	for _, batchOnly := range []string{"pipeline(no-zones=true)", "pipeline(prefix=)"} {
+		if _, ok := mobipriv.AsPerTrace(mobipriv.MustFromSpec(batchOnly)); ok {
+			t.Errorf("%s should be batch-only", batchOnly)
+		}
+	}
+
+	d := storeDataset(10, 60)
+	for _, workers := range []int{1, 4} {
+		in := buildInputStore(t, d, workers == 1)
+		runner := mobipriv.NewRunner(mobipriv.WithWorkers(workers))
+		outDir := filepath.Join(t.TempDir(), "native.mstore")
+		w, err := store.Create(outDir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runner.RunStore(context.Background(), in, w, m); err != nil {
+			t.Fatalf("RunStore: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		loaded, err := in.Load(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.Run(context.Background(), m, loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refDir := filepath.Join(t.TempDir(), "ref.mstore")
+		if err := store.WriteDataset(refDir, res.Dataset, store.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		sameDatasets(t, loadStore(t, refDir), loadStore(t, outDir))
+	}
+}
