@@ -26,6 +26,7 @@ import (
 	"mobipriv/internal/core"
 	"mobipriv/internal/experiment"
 	"mobipriv/internal/mixzone"
+	"mobipriv/internal/obs"
 	"mobipriv/internal/stream"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
@@ -212,7 +213,7 @@ func streamBenchUpdates(b *testing.B, users int) []stream.Update {
 // benchStreamEngine replays the update stream through an engine running
 // the given factory, reporting sustained points/sec (the serving-path
 // throughput metric mobiserve's acceptance bar is measured against).
-func benchStreamEngine(b *testing.B, shards int, factory stream.Factory) {
+func benchStreamEngine(b *testing.B, shards int, instrument bool, factory stream.Factory) {
 	updates := streamBenchUpdates(b, 32)
 	var consumed atomic.Uint64
 	eng, err := stream.NewEngine(stream.Config{
@@ -221,6 +222,9 @@ func benchStreamEngine(b *testing.B, shards int, factory stream.Factory) {
 	}, factory)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if instrument {
+		eng.RegisterMetrics(obs.NewRegistry())
 	}
 	done := make(chan error, 1)
 	go func() { done <- eng.Run(context.Background()) }()
@@ -261,7 +265,21 @@ func benchStreamEngine(b *testing.B, shards int, factory stream.Factory) {
 func BenchmarkStreamEngine(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchStreamEngine(b, shards, func(user string) stream.Mechanism {
+			benchStreamEngine(b, shards, false, func(user string) stream.Mechanism {
+				return stream.Promesse{Epsilon: 100, Window: 500}.New(user)
+			})
+		})
+	}
+}
+
+// BenchmarkStreamEngineObs is BenchmarkStreamEngine with the metrics
+// registry attached — the delta between the two is the full cost of
+// instrumentation on the hot path (push latency histogram, queue
+// high-water tracking). The acceptance bar is ≤5% points/s regression.
+func BenchmarkStreamEngineObs(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStreamEngine(b, shards, true, func(user string) stream.Mechanism {
 				return stream.Promesse{Epsilon: 100, Window: 500}.New(user)
 			})
 		})
@@ -274,7 +292,7 @@ func BenchmarkStreamEngine(b *testing.B) {
 func BenchmarkStreamEngineGeoI(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchStreamEngine(b, shards, func(user string) stream.Mechanism {
+			benchStreamEngine(b, shards, false, func(user string) stream.Mechanism {
 				return stream.GeoI{Epsilon: 0.01, Seed: 1}.New(user)
 			})
 		})

@@ -65,6 +65,7 @@ func run(args []string, stdout io.Writer) error {
 		from      = fs.String("from", "", "anonymize only points at or after this time (store-native runs)")
 		to        = fs.String("to", "", "anonymize only points at or before this time (store-native runs)")
 		usersFlag = fs.String("users", "", "anonymize only these comma-separated users (store-native runs)")
+		verbose   = cliutil.Verbose(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +111,7 @@ func run(args []string, stdout io.Writer) error {
 	// mechanisms (pipeline, w4m) fall through to the in-memory path.
 	if _, perTrace := mobipriv.AsPerTrace(m); perTrace &&
 		strings.HasSuffix(*in, ".mstore") && strings.HasSuffix(*out, ".mstore") {
-		return runStoreNative(*in, *out, m, runner, filters)
+		return runStoreNative(*in, *out, m, runner, filters, *verbose)
 	}
 	if cliutil.HasFilters(filters) {
 		return fmt.Errorf("-bbox/-from/-to/-users need a store-native run (.mstore in and out, per-trace mechanism); filter text inputs with mobistore instead")
@@ -125,8 +126,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	published := res.Dataset
-	for _, rep := range res.Reports {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", m.Name(), describeStage(rep))
+	if *verbose {
+		for _, rep := range res.Reports {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", m.Name(), describeStage(rep))
+		}
 	}
 
 	if strings.HasSuffix(*out, ".mstore") {
@@ -156,7 +159,7 @@ func run(args []string, stdout io.Writer) error {
 // The bbox/time/user filters restrict the input scan with footer
 // pruning, so "anonymize last week, this city" never reads the rest of
 // the store.
-func runStoreNative(in, out string, m mobipriv.Mechanism, runner *mobipriv.Runner, filters store.ScanOptions) error {
+func runStoreNative(in, out string, m mobipriv.Mechanism, runner *mobipriv.Runner, filters store.ScanOptions, verbose bool) error {
 	if store.SamePath(in, out) {
 		// Creating the output would unlink the input's segments before
 		// they are read; a mid-run failure would lose the dataset.
@@ -180,9 +183,11 @@ func runStoreNative(in, out string, m mobipriv.Mechanism, runner *mobipriv.Runne
 	if err := w.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%s: store-native: %d traces (%d points) -> %d traces (%d points), %d users dropped, %d/%d blocks pruned, peak %d in flight\n",
-		m.Name(), stats.Traces, stats.Points, stats.OutTraces, stats.OutPoints, len(stats.Dropped),
-		stats.BlocksPruned, stats.BlocksTotal, stats.PeakInFlight)
+	if verbose {
+		fmt.Fprintf(os.Stderr, "%s: store-native: %d traces (%d points) -> %d traces (%d points), %d users dropped, %d/%d blocks pruned, peak %d in flight\n",
+			m.Name(), stats.Traces, stats.Points, stats.OutTraces, stats.OutPoints, len(stats.Dropped),
+			stats.BlocksPruned, stats.BlocksTotal, stats.PeakInFlight)
+	}
 	return nil
 }
 

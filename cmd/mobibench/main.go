@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"mobipriv"
+	"mobipriv/internal/cliutil"
 	"mobipriv/internal/experiment"
 	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
@@ -52,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		stays     = fs.String("stays", "", "ground-truth stays CSV for -dataset (mobigen format; enables the POI-attack experiments)")
 		lineup    = fs.String("mechanisms", "", "comma-separated mechanism specs overriding the standard lineup (default: "+strings.Join(experiment.Lineup(), ",")+")")
 		listMechs = fs.Bool("list-mechanisms", false, "print the registered mechanism names and exit")
+		verbose   = cliutil.Verbose(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +118,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	for _, e := range selected {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "mobibench: running %s (%s) at %s scale\n", e.ID, e.Title, sc)
+		}
 		start := time.Now()
 		table, err := e.Run(sc)
 		if err != nil {

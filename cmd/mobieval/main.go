@@ -67,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 		from      = fs.String("from", "", "evaluate only points at or after this time (RFC 3339 or Unix seconds)")
 		to        = fs.String("to", "", "evaluate only points at or before this time (RFC 3339 or Unix seconds)")
 		users     = fs.String("users", "", "evaluate only these comma-separated users")
+		verbose   = cliutil.Verbose(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,7 +108,7 @@ func run(args []string, stdout io.Writer) error {
 	// store-natively, streaming both stores in lockstep without ever
 	// materializing a dataset.
 	if strings.HasSuffix(*origPath, ".mstore") && strings.HasSuffix(*anonPath, ".mstore") && *mechSpec == "" {
-		return runStoreNative(*origPath, *anonPath, opts, filters, *workers, stdout)
+		return runStoreNative(*origPath, *anonPath, opts, filters, *workers, stdout, *verbose)
 	}
 
 	orig, err := store.ReadDataset(context.Background(), *origPath)
@@ -159,7 +160,7 @@ func run(args []string, stdout io.Writer) error {
 
 // runStoreNative streams the two stores through metrics.EvalStore —
 // the larger-than-RAM evaluation path. It never calls Load.
-func runStoreNative(origPath, anonPath string, opts metrics.EvalOptions, filters store.ScanOptions, workers int, stdout io.Writer) error {
+func runStoreNative(origPath, anonPath string, opts metrics.EvalOptions, filters store.ScanOptions, workers int, stdout io.Writer, verbose bool) error {
 	orig, err := store.Open(origPath)
 	if err != nil {
 		return fmt.Errorf("original: %w", err)
@@ -179,6 +180,9 @@ func runStoreNative(origPath, anonPath string, opts metrics.EvalOptions, filters
 	}
 	if err := report.WriteText(stdout); err != nil {
 		return err
+	}
+	if !verbose {
+		return nil
 	}
 	_, err = fmt.Fprintf(stdout, "\nstore-native eval: %d traces paired (%d orig-only, %d anon-only users); pruned %d/%d blocks; peak %d users buffered\n",
 		st.Paired, len(st.OnlyOrig), len(st.OnlyAnon),

@@ -207,7 +207,8 @@ func TestGoldenReportStoreNative(t *testing.T) {
 		return path
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-orig", toStore("orig"), "-anon", toStore("anon"), "-queries", "32"}, &out); err != nil {
+	// -verbose: the stats trailer this test pins is verbose-only output.
+	if err := run([]string{"-orig", toStore("orig"), "-anon", toStore("anon"), "-queries", "32", "-verbose"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	want, err := os.ReadFile(filepath.Join("testdata", "eval_golden.txt"))
@@ -262,7 +263,8 @@ func TestRunFiltered(t *testing.T) {
 		return path
 	}
 	var native bytes.Buffer
-	if err := run(args(toStore("orig"), toStore("anon")), &native); err != nil {
+	// -verbose so the trailer exists for Cut to strip below.
+	if err := run(append(args(toStore("orig"), toStore("anon")), "-verbose"), &native); err != nil {
 		t.Fatal(err)
 	}
 	body, _, _ := strings.Cut(native.String(), "\n\nstore-native eval: ")

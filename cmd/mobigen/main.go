@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"mobipriv/internal/cliutil"
 	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
@@ -47,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		format   = fs.String("format", "csv", "output format: csv, jsonl, geojson, store")
 		shards   = fs.Int("shards", 8, "segment count for -format store")
 		staysOut = fs.String("stays", "", "also write ground-truth stays (CSV) to this file")
+		verbose  = cliutil.Verbose(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +98,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(os.Stderr, "generated %d users, %d points, %d ground-truth stays\n",
 		g.Dataset.Len(), g.Dataset.TotalPoints(), len(g.Stays))
+	if *verbose {
+		if from, to, ok := g.Dataset.TimeSpan(); ok {
+			fmt.Fprintf(os.Stderr, "span %s .. %s, bbox %s\n",
+				from.Format(time.RFC3339), to.Format(time.RFC3339), g.Dataset.Bounds())
+		}
+	}
 	return nil
 }
 

@@ -18,13 +18,22 @@
 //	GET  /out      stream anonymized output as NDJSON until the client
 //	               disconnects (points anonymized after connect).
 //	GET  /stats    JSON: per-shard queue depth and user counts,
-//	               points/sec, evictions, risk-monitor counts.
+//	               points/sec, evictions, risk-monitor counts. The
+//	               values are a view over the same metrics registry
+//	               /metrics serves, so the two cannot disagree.
+//	GET  /metrics  Prometheus text exposition of every counter, gauge
+//	               and latency histogram (engine, sinks, risk monitor,
+//	               per-route HTTP latency).
 //	GET  /risk     JSON: per-user privacy-risk state from the live
 //	               monitor (internal/risk) watching the anonymized
 //	               output — users whose published points still show a
 //	               POI recurring across distinct days are flagged.
 //	               ?user=U returns one user (404 when unobserved).
 //	POST /risk/reset  drop monitor state (?user=U for one user).
+//
+// With -pprof the standard net/http/pprof debug endpoints are mounted
+// under /debug/pprof/ (opt-in: profiling handlers on a public address
+// are a foot-gun, so they are off by default).
 //
 // Quickstart against a generated dataset:
 //
@@ -45,6 +54,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +64,8 @@ import (
 	"time"
 
 	"mobipriv"
+	"mobipriv/internal/cliutil"
+	"mobipriv/internal/obs"
 	"mobipriv/internal/risk"
 	"mobipriv/internal/store"
 	"mobipriv/internal/stream"
@@ -81,7 +93,9 @@ func run(args []string) error {
 		pseudonym = fs.String("pseudonym", "", "relabel output users with this pseudonym prefix")
 		seed      = fs.Int64("seed", 1, "pseudonym seed")
 		riskDays  = fs.Int("risk-min-days", 2, "flag users whose output shows a POI recurring on this many distinct days (0 disables the monitor)")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof debug endpoints under /debug/pprof/")
 		list      = fs.Bool("list-streaming", false, "list streaming-capable mechanisms and exit")
+		verbose   = cliutil.Verbose(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +114,7 @@ func run(args []string) error {
 		Pseudonym:   *pseudonym,
 		Seed:        *seed,
 		RiskMinDays: *riskDays,
+		Pprof:       *pprofOn,
 	})
 	if err != nil {
 		return err
@@ -165,12 +180,39 @@ func run(args []string) error {
 		defer cancel()
 		hs.Shutdown(sctx)
 	}()
-	log.Printf("mobiserve: %s on %s (%d shards)", srv.mechName, *addr, *shards)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		shutdownEngine()
-		return err
+	// One-line startup summary: every enabled endpoint, so an operator
+	// can see at a glance what this instance exposes (and what it
+	// doesn't — no silent -sink or -pprof surprises).
+	endpoints := []string{"POST /ingest", "POST /flush", "GET /out", "GET /stats", "GET /metrics", "GET /healthz"}
+	if srv.mon != nil {
+		endpoints = append(endpoints, "GET /risk", "POST /risk/reset")
 	}
-	return shutdownEngine()
+	if *pprofOn {
+		endpoints = append(endpoints, "GET /debug/pprof/")
+	}
+	sinkDesc := "none"
+	switch {
+	case srv.sinkStore != nil:
+		sinkDesc = "store " + *sink
+	case srv.sinkFile != nil:
+		sinkDesc = "file " + *sink
+	}
+	log.Printf("mobiserve: %s on %s (%d shards, sink %s) endpoints: %s",
+		srv.mechName, *addr, *shards, sinkDesc, strings.Join(endpoints, " "))
+	serveErr := hs.ListenAndServe()
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	err = shutdownEngine()
+	if *verbose {
+		st := srv.eng.Stats()
+		fmt.Fprintf(os.Stderr, "mobiserve: served %d points in, %d out, %d evicted users, %d backpressure stalls, %d sink failures\n",
+			st.In, st.Out, st.Evicted, st.Stalls, srv.sinkFails.Load())
+	}
+	if serveErr != nil {
+		return serveErr
+	}
+	return err
 }
 
 type serverConfig struct {
@@ -184,16 +226,20 @@ type serverConfig struct {
 	// RiskMinDays configures the live risk monitor's recurrence
 	// threshold; 0 disables monitoring entirely.
 	RiskMinDays int
+	// Pprof mounts the net/http/pprof debug endpoints.
+	Pprof bool
 }
 
 // server owns the engine and fans its output to the sink file and the
 // live /out subscribers.
 type server struct {
 	eng      *stream.Engine
+	reg      *obs.Registry
 	mechName string
 	batch    int
 	started  time.Time
 	mon      *risk.Monitor // nil when monitoring is disabled
+	pprofOn  bool
 
 	mu        sync.Mutex
 	sinkFile  io.Writer
@@ -220,9 +266,11 @@ func newServer(cfg serverConfig) (*server, error) {
 		cfg.Batch = 256
 	}
 	srv := &server{
+		reg:      obs.NewRegistry(),
 		mechName: m.Name(),
 		batch:    cfg.Batch,
 		started:  time.Now(),
+		pprofOn:  cfg.Pprof,
 		subs:     make(map[int]chan []stream.Update),
 	}
 	if cfg.RiskMinDays > 0 {
@@ -255,7 +303,49 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	srv.eng = eng
+	srv.registerMetrics()
 	return srv, nil
+}
+
+// registerMetrics publishes every subsystem on the server's registry.
+// All series are scrape-time views over the counters the subsystems
+// already maintain, so /stats (which reads the registry too) and
+// /metrics are the same numbers by construction.
+func (s *server) registerMetrics() {
+	s.eng.RegisterMetrics(s.reg)
+	if s.mon != nil {
+		s.mon.RegisterMetrics(s.reg)
+	}
+	s.reg.GaugeFunc("mobiserve_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.reg.CounterFunc("mobiserve_sink_write_failures_total",
+		"Failed sink writes (file batches or store appends/flushes).",
+		func() float64 { return float64(s.sinkFails.Load()) })
+	s.reg.CounterFunc("mobiserve_dropped_subscriber_points_total",
+		"Points dropped because an /out subscriber was too slow.",
+		func() float64 { return float64(s.dropped.Load()) })
+	// Store-sink write totals: zero until a .mstore sink is attached.
+	sinkStat := func(pick func(store.WriterStats) int64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			sw := s.sinkStore
+			s.mu.Unlock()
+			if sw == nil {
+				return 0
+			}
+			return float64(pick(sw.Stats()))
+		}
+	}
+	s.reg.CounterFunc("mobiserve_sink_store_blocks_total",
+		"Blocks written by the .mstore sink.",
+		sinkStat(func(st store.WriterStats) int64 { return st.Blocks }))
+	s.reg.CounterFunc("mobiserve_sink_store_bytes_total",
+		"Encoded bytes written by the .mstore sink.",
+		sinkStat(func(st store.WriterStats) int64 { return st.Bytes }))
+	s.reg.CounterFunc("mobiserve_sink_store_points_total",
+		"Points written by the .mstore sink.",
+		sinkStat(func(st store.WriterStats) int64 { return st.Points }))
 }
 
 // sink receives anonymized batches from the shard goroutines. The
@@ -317,16 +407,45 @@ func (s *server) unsubscribe(id int) {
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("POST /flush", s.handleFlush)
-	mux.HandleFunc("GET /out", s.handleOut)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /risk", s.handleRisk)
-	mux.HandleFunc("POST /risk/reset", s.handleRiskReset)
+	mux.HandleFunc("POST /ingest", s.instrument("/ingest", s.handleIngest))
+	mux.HandleFunc("POST /flush", s.instrument("/flush", s.handleFlush))
+	mux.HandleFunc("GET /out", s.handleOut) // long-lived stream: latency is meaningless
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /risk", s.instrument("/risk", s.handleRisk))
+	mux.HandleFunc("POST /risk/reset", s.instrument("/risk/reset", s.handleRiskReset))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
+	if s.pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// instrument wraps a handler with a per-route request counter and
+// latency histogram.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("mobiserve_http_requests_total",
+		"HTTP requests served, by route.", obs.L("route", route))
+	lat := s.reg.Histogram("mobiserve_http_request_seconds",
+		"HTTP request latency, by route.", obs.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.ObserveDuration(time.Since(start))
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 // handleIngest decodes the request body record-at-a-time (never holding
@@ -512,6 +631,7 @@ type statsResponse struct {
 	Out         uint64              `json:"points_out"`
 	PointsPerS  float64             `json:"points_per_s"`
 	Evicted     uint64              `json:"evicted_users"`
+	Stalls      uint64              `json:"push_stalls"`
 	ActiveUsers int                 `json:"active_users"`
 	DroppedSub  uint64              `json:"dropped_subscriber_points"`
 	SinkFails   uint64              `json:"sink_write_failures"`
@@ -520,25 +640,32 @@ type statsResponse struct {
 	Shards      []stream.ShardStats `json:"shards"`
 }
 
+// handleStats renders the JSON stats view. Every scalar is read back
+// from the metrics registry — the same series /metrics scrapes — so
+// the two endpoints cannot drift apart. Only the per-shard breakdown
+// and the mechanism name come from outside the registry.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	up := time.Since(s.started).Seconds()
+	regVal := func(name string) float64 {
+		v, _ := s.reg.Value(name)
+		return v
+	}
+	up := regVal("mobiserve_uptime_seconds")
 	resp := statsResponse{
 		Mechanism:   s.mechName,
 		UptimeS:     up,
-		In:          st.In,
-		Out:         st.Out,
-		Evicted:     st.Evicted,
-		ActiveUsers: st.ActiveUsers,
-		DroppedSub:  s.dropped.Load(),
-		SinkFails:   s.sinkFails.Load(),
-		Shards:      st.Shards,
+		In:          uint64(regVal("stream_points_in_total")),
+		Out:         uint64(regVal("stream_points_out_total")),
+		Evicted:     uint64(regVal("stream_evicted_users_total")),
+		Stalls:      uint64(regVal("stream_push_stalls_total")),
+		ActiveUsers: int(regVal("stream_active_users")),
+		DroppedSub:  uint64(regVal("mobiserve_dropped_subscriber_points_total")),
+		SinkFails:   uint64(regVal("mobiserve_sink_write_failures_total")),
+		RiskUsers:   int(regVal("risk_users")),
+		RiskFlagged: int(regVal("risk_flagged_users")),
+		Shards:      s.eng.Stats().Shards,
 	}
 	if up > 0 {
-		resp.PointsPerS = float64(st.In) / up
-	}
-	if s.mon != nil {
-		resp.RiskUsers, resp.RiskFlagged = s.mon.Counts()
+		resp.PointsPerS = float64(resp.In) / up
 	}
 	writeJSON(w, resp)
 }

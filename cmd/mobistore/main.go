@@ -148,11 +148,12 @@ func runInfo(args []string, stdout io.Writer) error {
 func runCat(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mobistore cat", flag.ContinueOnError)
 	var (
-		format = fs.String("format", "csv", "output format: csv or jsonl")
-		users  = fs.String("users", "", "comma-separated user filter")
-		bbox   = fs.String("bbox", "", "minLat,minLng,maxLat,maxLng bounding-box filter")
-		from   = fs.String("from", "", "keep points at or after this time (RFC 3339 or Unix seconds)")
-		to     = fs.String("to", "", "keep points at or before this time (RFC 3339 or Unix seconds)")
+		format  = fs.String("format", "csv", "output format: csv or jsonl")
+		users   = fs.String("users", "", "comma-separated user filter")
+		bbox    = fs.String("bbox", "", "minLat,minLng,maxLat,maxLng bounding-box filter")
+		from    = fs.String("from", "", "keep points at or after this time (RFC 3339 or Unix seconds)")
+		to      = fs.String("to", "", "keep points at or before this time (RFC 3339 or Unix seconds)")
+		verbose = cliutil.Verbose(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -165,6 +166,14 @@ func runCat(args []string, stdout io.Writer) error {
 		return fmt.Errorf("cat: %w", err)
 	}
 	opts.Workers = 1 // one worker: deterministic output order
+	var st store.ScanStats
+	if *verbose {
+		opts.Stats = &st
+		defer func() {
+			fmt.Fprintf(os.Stderr, "cat: scanned %d points; pruned %d/%d blocks, decoded %d (%d cache hits)\n",
+				st.Points, st.BlocksPruned, st.BlocksTotal, st.BlocksDecoded, st.CacheHits)
+		}()
+	}
 
 	s, err := store.Open(fs.Arg(0))
 	if err != nil {

@@ -32,6 +32,11 @@ func TestPackageDocsPresent(t *testing.T) {
 		{"internal/risk", []string{"stay", "accumulator", "merge", "bounded"}},
 		// The parallel substrate: worker-count-independent determinism.
 		{"internal/par", []string{"worker", "determinism", "(seed, user)"}},
+		// The observability substrate: mergeable race-safe instruments
+		// and the scrape-time callback contract.
+		{"internal/obs", []string{"counter", "gauge", "histogram", "merge", "prometheus", "idempotent"}},
+		// The load driver: deterministic traffic and checksums.
+		{"internal/load", []string{"deterministic", "hash(user)", "checksum", "mergeable"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -1,0 +1,11 @@
+package cliutil
+
+import "flag"
+
+// Verbose registers the shared -verbose flag on fs. Every command
+// spells it identically: verbose output is per-run statistics (scan
+// pruning, cache behavior, peak memory, stage reports) printed to
+// stderr, never a change to the command's stdout contract.
+func Verbose(fs *flag.FlagSet) *bool {
+	return fs.Bool("verbose", false, "print per-run statistics (scan pruning, cache, peak memory) to stderr")
+}

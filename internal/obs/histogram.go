@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing reuses the DistortionAcc geometry from
+// internal/metrics: observations are quantized to integer nanoseconds
+// and binned logarithmically with histSubBins sub-bins per power of
+// two (~4.5% relative resolution) in a fixed 1025-slot array covering
+// the full uint64 range. All state is atomic integers, so Observe and
+// Merge commute exactly.
+const (
+	histSubBits = 4
+	histSubBins = 1 << histSubBits   // 16 sub-bins per power of two
+	histBins    = 1 + 64*histSubBins // bin 0 reserved for zero
+)
+
+// Histogram is a mergeable, race-safe latency histogram over
+// log-spaced nanosecond buckets. Observations are float64 seconds
+// (the Prometheus convention); they are quantized to nanoseconds
+// internally so the state stays integral and merge-order-invariant.
+// Obtain instances from NewHistogram or Registry.Histogram.
+type Histogram struct {
+	count atomic.Uint64
+	sumNs atomic.Uint64
+	bins  [histBins]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Observe records a single observation of v seconds. Negative and NaN
+// values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	ns := v * 1e9
+	var u uint64
+	if ns >= 1 && !math.IsNaN(ns) {
+		if ns >= math.MaxUint64 {
+			u = math.MaxUint64
+		} else {
+			u = uint64(ns)
+		}
+	}
+	h.observeNs(u)
+}
+
+// ObserveDuration records a single duration observation.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.observeNs(uint64(d))
+}
+
+func (h *Histogram) observeNs(ns uint64) {
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.bins[histBin(ns)].Add(1)
+}
+
+// Merge folds o into h. Observe and Merge commute: any partition of
+// the observations over any number of histograms, merged in any order,
+// yields identical state.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sumNs.Add(o.sumNs.Load())
+	for i := range o.bins {
+		if n := o.bins[i].Load(); n != 0 {
+			h.bins[i].Add(n)
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) in seconds, resolved to
+// the lower edge of the containing bucket (~4.5% relative resolution,
+// same contract as the metrics accumulators). Returns 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n-1))
+	var cum uint64
+	for i := 0; i < histBins; i++ {
+		cum += h.bins[i].Load()
+		if cum > rank {
+			return histBinEdge(i)
+		}
+	}
+	return histBinEdge(histBins - 1)
+}
+
+// histBin maps a nanosecond value to its histogram bin; mirrors
+// distBin in internal/metrics.
+func histBin(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	l := bits.Len64(ns)
+	var sub uint64
+	if l > histSubBits+1 {
+		sub = (ns >> uint(l-1-histSubBits)) & (histSubBins - 1)
+	} else {
+		sub = (ns << uint(histSubBits+1-l)) & (histSubBins - 1)
+	}
+	return 1 + (l-1)*histSubBins + int(sub)
+}
+
+// histBinEdge returns the lower edge of a bin, in seconds; mirrors
+// distBinEdge in internal/metrics.
+func histBinEdge(bin int) float64 {
+	if bin == 0 {
+		return 0
+	}
+	l := (bin - 1) / histSubBins
+	sub := (bin - 1) % histSubBins
+	return math.Ldexp(1+float64(sub)/histSubBins, l) * 1e-9
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterGaugeBasics pins the elementary instrument semantics.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	g.SetMax(10)
+	g.SetMax(3)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after SetMax = %v, want 10", got)
+	}
+}
+
+// TestRegistryIdempotent pins that re-registering the same series
+// returns the same instrument, and that conflicting reuse panics.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	if c := r.Counter("x_total", "help", L("k", "w")); c == a {
+		t.Fatal("different label value returned same counter")
+	}
+	mustPanic(t, "kind conflict", func() { r.Gauge("x_total", "help") })
+	mustPanic(t, "help conflict", func() { r.Counter("x_total", "other help") })
+	mustPanic(t, "bad name", func() { r.Counter("9bad", "help") })
+	mustPanic(t, "bad label", func() { r.Counter("ok_total", "help", L("bad-label", "v")) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestRegistryValue pins the /stats-as-a-view contract: Value reads
+// the same state the exposition writes, including callback metrics.
+func TestRegistryValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Add(7)
+	r.Gauge("g", "h", L("shard", "0")).Set(3)
+	n := 41.0
+	r.CounterFunc("fn_total", "h", func() float64 { return n })
+
+	if v, ok := r.Value("c_total"); !ok || v != 7 {
+		t.Fatalf("Value(c_total) = %v, %v", v, ok)
+	}
+	if v, ok := r.Value("g", L("shard", "0")); !ok || v != 3 {
+		t.Fatalf("Value(g{shard=0}) = %v, %v", v, ok)
+	}
+	if v, ok := r.Value("fn_total"); !ok || v != 41 {
+		t.Fatalf("Value(fn_total) = %v, %v", v, ok)
+	}
+	n = 42
+	if v, _ := r.Value("fn_total"); v != 42 {
+		t.Fatalf("callback not re-read: %v", v)
+	}
+	if _, ok := r.Value("absent"); ok {
+		t.Fatal("Value on absent series reported ok")
+	}
+	if _, ok := r.Value("g", L("shard", "9")); ok {
+		t.Fatal("Value on absent labels reported ok")
+	}
+}
+
+// TestHistogramMergeOrderInvariance pins the accumulator contract the
+// package doc promises: any partition of the observations over any
+// number of histograms, merged in any order, yields identical state.
+func TestHistogramMergeOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	obs := make([]float64, 5000)
+	for i := range obs {
+		obs[i] = rng.ExpFloat64() * 1e-3 // ~ms-scale latencies
+	}
+
+	whole := NewHistogram()
+	for _, v := range obs {
+		whole.Observe(v)
+	}
+
+	// Partition into 7 parts round-robin, merge in a shuffled order.
+	parts := make([]*Histogram, 7)
+	for i := range parts {
+		parts[i] = NewHistogram()
+	}
+	for i, v := range obs {
+		parts[i%len(parts)].Observe(v)
+	}
+	order := rng.Perm(len(parts))
+	merged := NewHistogram()
+	for _, i := range order {
+		merged.Merge(parts[i])
+	}
+
+	if whole.Count() != merged.Count() {
+		t.Fatalf("count: whole %d, merged %d", whole.Count(), merged.Count())
+	}
+	if whole.sumNs.Load() != merged.sumNs.Load() {
+		t.Fatalf("sumNs: whole %d, merged %d", whole.sumNs.Load(), merged.sumNs.Load())
+	}
+	for i := range whole.bins {
+		if a, b := whole.bins[i].Load(), merged.bins[i].Load(); a != b {
+			t.Fatalf("bin %d: whole %d, merged %d", i, a, b)
+		}
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if a, b := whole.Quantile(q), merged.Quantile(q); a != b {
+			t.Fatalf("quantile %v: whole %v, merged %v", q, a, b)
+		}
+	}
+}
+
+// TestHistogramQuantile sanity-checks quantiles against a known
+// distribution within the documented ~4.5% bucket resolution.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 1..1000 microseconds.
+	for i := 1; i <= 1000; i++ {
+		h.ObserveDuration(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 400e-6 || p50 > 550e-6 {
+		t.Fatalf("p50 = %v, want ~500µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900e-6 || p99 > 1100e-6 {
+		t.Fatalf("p99 = %v, want ~990µs", p99)
+	}
+	wantSum := float64(1000*1001/2) * 1e-6
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestHistogramObserveClamps pins the edge handling for hostile inputs.
+func TestHistogramObserveClamps(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-1)
+	h.Observe(0)
+	h.ObserveDuration(-time.Second)
+	if h.Count() != 3 || h.sumNs.Load() != 0 {
+		t.Fatalf("count=%d sumNs=%d after clamped observations", h.Count(), h.sumNs.Load())
+	}
+	if h.bins[0].Load() != 3 {
+		t.Fatalf("zero bin = %d, want 3", h.bins[0].Load())
+	}
+	h.Observe(1e300) // overflow clamps to MaxUint64, must not panic
+	if h.Count() != 4 {
+		t.Fatalf("count = %d after overflow observe", h.Count())
+	}
+}
+
+// TestConcurrentInstruments exercises every instrument from many
+// goroutines; run under -race this is the package's race test.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	g := r.Gauge("g", "h")
+	hw := r.Gauge("g_high_water", "h")
+	h := r.Histogram("h_seconds", "h")
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				hw.SetMax(float64(i))
+				h.ObserveDuration(time.Duration(i) * time.Microsecond)
+				// Concurrent registration of the same series must be safe.
+				r.Counter("c_total", "h").Add(0)
+				if i%500 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := hw.Value(); got != iters-1 {
+		t.Fatalf("high-water gauge = %v, want %d", got, iters-1)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

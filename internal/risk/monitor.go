@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobipriv/internal/geo"
+	"mobipriv/internal/obs"
 	"mobipriv/internal/poi"
 	"mobipriv/internal/trace"
 )
@@ -91,6 +93,10 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	users map[string]*userMonitor
+
+	// Lifetime totals (they survive Reset/ResetAll), for RegisterMetrics.
+	nStays  atomic.Uint64 // stays absorbed into cluster evidence
+	nEvicts atomic.Uint64 // clusters evicted at the MaxPOIs cap
 }
 
 // userMonitor is the per-user state: the streaming detector and the
@@ -184,6 +190,7 @@ func (m *Monitor) absorbLocked(um *userMonitor, s poi.Stay) {
 		return
 	}
 	um.stays++
+	m.nStays.Add(1)
 	radius := m.cfg.Stay.EffectiveMergeRadius()
 	var best *riskCluster
 	bestD := radius
@@ -236,6 +243,25 @@ func (m *Monitor) evictLocked(um *userMonitor) {
 		}
 	}
 	um.clusters = append(um.clusters[:worst], um.clusters[worst+1:]...)
+	m.nEvicts.Add(1)
+}
+
+// RegisterMetrics publishes the monitor's state on reg under stable
+// risk_* names: live user/flag gauges plus lifetime stay and eviction
+// counters (which survive Reset). Safe to call at any time.
+func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("risk_users",
+		"Users currently holding monitor state.",
+		func() float64 { u, _ := m.Counts(); return float64(u) })
+	reg.GaugeFunc("risk_flagged_users",
+		"Users whose published output currently shows a recurrent POI.",
+		func() float64 { _, f := m.Counts(); return float64(f) })
+	reg.CounterFunc("risk_stays_total",
+		"Stays absorbed into cluster evidence across the monitor's lifetime.",
+		func() float64 { return float64(m.nStays.Load()) })
+	reg.CounterFunc("risk_poi_evictions_total",
+		"Clusters evicted at the per-user MaxPOIs cap.",
+		func() float64 { return float64(m.nEvicts.Load()) })
 }
 
 // RiskPOI describes one monitored cluster in a risk report.

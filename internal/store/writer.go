@@ -31,6 +31,27 @@ type Writer struct {
 	users  map[string]bool          // every user ever appended
 	points int
 	closed bool
+
+	// Lifetime write totals, for WriterStats / sink metrics.
+	wroteBlocks int64
+	wroteBytes  int64
+	wrotePoints int64
+}
+
+// WriterStats is a snapshot of a Writer's lifetime output — what a
+// streaming sink has durably encoded so far.
+type WriterStats struct {
+	Blocks int64 // blocks written across all segments
+	Bytes  int64 // encoded block bytes written
+	Points int64 // points written into blocks
+}
+
+// Stats snapshots the Writer's lifetime write counters. Safe for
+// concurrent use.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WriterStats{Blocks: w.wroteBlocks, Bytes: w.wroteBytes, Points: w.wrotePoints}
 }
 
 // segWriter accumulates one segment file.
@@ -208,6 +229,9 @@ func (w *Writer) flushUser(user string, n int) error {
 	seg.offset += uint64(len(data))
 	seg.users[user] = true
 	seg.points += len(pts)
+	w.wroteBlocks++
+	w.wroteBytes += int64(len(data))
+	w.wrotePoints += int64(len(pts))
 	if len(rest) == 0 {
 		delete(w.bufs, user)
 	} else {

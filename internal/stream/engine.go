@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mobipriv/internal/obs"
 	"mobipriv/internal/par"
 )
 
@@ -69,8 +71,8 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// Shards holds one entry per shard, in shard order.
 	Shards []ShardStats
-	// In, Out and Evicted aggregate the per-shard counters.
-	In, Out, Evicted uint64
+	// In, Out, Evicted and Stalls aggregate the per-shard counters.
+	In, Out, Evicted, Stalls uint64
 	// ActiveUsers is the number of users currently holding state.
 	ActiveUsers int
 }
@@ -80,6 +82,10 @@ type Stats struct {
 type ShardStats struct {
 	// QueueDepth is the number of batches waiting in the shard queue.
 	QueueDepth int `json:"queue_depth"`
+	// QueueHighWater is the deepest the shard queue has ever been
+	// observed after an enqueue — how close the shard has come to
+	// exerting backpressure.
+	QueueHighWater int `json:"queue_high_water"`
 	// Users is the number of users with live state on this shard.
 	Users int `json:"users"`
 	// In and Out count points received and published by this shard.
@@ -87,6 +93,9 @@ type ShardStats struct {
 	Out uint64 `json:"points_out"`
 	// Evicted counts users flushed out by the idle TTL.
 	Evicted uint64 `json:"evicted_users"`
+	// Stalls counts sends that found the shard queue full and had to
+	// block — each one is a backpressure event felt by a producer.
+	Stalls uint64 `json:"stalls"`
 }
 
 // Engine partitions per-user streaming state across shards and applies
@@ -102,6 +111,11 @@ type Engine struct {
 	mu      sync.RWMutex // guards closed vs. in-flight channel sends
 	closed  bool
 	started atomic.Bool
+
+	// pushHist, when set by RegisterMetrics, times each Push call. It
+	// is an atomic pointer so registration never races the hot path;
+	// when nil (the default) Push takes no clock readings at all.
+	pushHist atomic.Pointer[obs.Histogram]
 }
 
 type shardMsg struct {
@@ -119,8 +133,10 @@ type shard struct {
 	nIn     atomic.Uint64
 	nOut    atomic.Uint64
 	nEvict  atomic.Uint64
+	nStall  atomic.Uint64
 	nUsers  atomic.Int64
-	scratch []Update // reused output batch
+	qMax    atomic.Int64 // deepest queue observed after an enqueue
+	scratch []Update     // reused output batch
 }
 
 type userState struct {
@@ -179,6 +195,10 @@ func (e *Engine) Run(ctx context.Context) error {
 func (e *Engine) Push(ctx context.Context, updates ...Update) error {
 	if len(updates) == 0 {
 		return nil
+	}
+	if h := e.pushHist.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.ObserveDuration(time.Since(start)) }()
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -278,19 +298,57 @@ func (e *Engine) Stats() Stats {
 	st := Stats{Shards: make([]ShardStats, len(e.shards))}
 	for i, s := range e.shards {
 		ss := ShardStats{
-			QueueDepth: len(s.in),
-			Users:      int(s.nUsers.Load()),
-			In:         s.nIn.Load(),
-			Out:        s.nOut.Load(),
-			Evicted:    s.nEvict.Load(),
+			QueueDepth:     len(s.in),
+			QueueHighWater: int(s.qMax.Load()),
+			Users:          int(s.nUsers.Load()),
+			In:             s.nIn.Load(),
+			Out:            s.nOut.Load(),
+			Evicted:        s.nEvict.Load(),
+			Stalls:         s.nStall.Load(),
 		}
 		st.Shards[i] = ss
 		st.In += ss.In
 		st.Out += ss.Out
 		st.Evicted += ss.Evicted
+		st.Stalls += ss.Stalls
 		st.ActiveUsers += ss.Users
 	}
 	return st
+}
+
+// RegisterMetrics publishes the engine's counters on reg under stable
+// stream_* names and enables the push-latency histogram. The counter
+// and gauge series are scrape-time views over the same atomics Stats
+// reads, so /stats and /metrics cannot disagree. Safe to call at any
+// time, including while the engine is running.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	e.pushHist.Store(reg.Histogram("stream_push_seconds",
+		"Latency of Engine.Push calls (partition + enqueue, including backpressure stalls)."))
+	reg.CounterFunc("stream_points_in_total",
+		"Points received by the engine.",
+		func() float64 { return float64(e.Stats().In) })
+	reg.CounterFunc("stream_points_out_total",
+		"Anonymized points published to the sink.",
+		func() float64 { return float64(e.Stats().Out) })
+	reg.CounterFunc("stream_evicted_users_total",
+		"Users flushed out by the idle TTL.",
+		func() float64 { return float64(e.Stats().Evicted) })
+	reg.CounterFunc("stream_push_stalls_total",
+		"Sends that found a shard queue full and blocked (backpressure events).",
+		func() float64 { return float64(e.Stats().Stalls) })
+	reg.GaugeFunc("stream_active_users",
+		"Users currently holding per-user mechanism state.",
+		func() float64 { return float64(e.Stats().ActiveUsers) })
+	for i, s := range e.shards {
+		s := s
+		shardLabel := obs.L("shard", strconv.Itoa(i))
+		reg.GaugeFunc("stream_shard_queue_depth",
+			"Batches waiting in the shard queue.",
+			func() float64 { return float64(len(s.in)) }, shardLabel)
+		reg.GaugeFunc("stream_shard_queue_high_water",
+			"Deepest the shard queue has been observed after an enqueue.",
+			func() float64 { return float64(s.qMax.Load()) }, shardLabel)
+	}
 }
 
 // shardOf is inline FNV-1a (identical to hash/fnv) so routing a point
@@ -308,8 +366,18 @@ func (e *Engine) shardOf(user string) int {
 // send enqueues one message, blocking until the shard accepts it. The
 // stopped channel keeps a sender from blocking forever (holding the
 // read lock and deadlocking Close) when Run's context was cancelled and
-// the shards died without draining their queues.
+// the shards died without draining their queues. A first non-blocking
+// attempt distinguishes the common fast path from a backpressure stall,
+// which is counted before falling back to the blocking select.
 func (e *Engine) send(ctx context.Context, s *shard, msg shardMsg) error {
+	select {
+	case s.in <- msg:
+		s.noteDepth()
+		return nil
+	default:
+	}
+	s.nStall.Add(1)
+	s.qMax.Store(int64(cap(s.in))) // full queue is by definition the high water
 	select {
 	case s.in <- msg:
 		return nil
@@ -317,6 +385,18 @@ func (e *Engine) send(ctx context.Context, s *shard, msg shardMsg) error {
 		return ctx.Err()
 	case <-e.stopped:
 		return ErrClosed
+	}
+}
+
+// noteDepth raises the shard's queue high-water mark to the depth just
+// observed.
+func (s *shard) noteDepth() {
+	d := int64(len(s.in))
+	for {
+		old := s.qMax.Load()
+		if d <= old || s.qMax.CompareAndSwap(old, d) {
+			return
+		}
 	}
 }
 

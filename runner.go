@@ -3,7 +3,9 @@ package mobipriv
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 
+	"mobipriv/internal/obs"
 	"mobipriv/internal/par"
 )
 
@@ -21,6 +23,12 @@ import (
 // The zero Runner is not valid; use NewRunner.
 type Runner struct {
 	workers int
+
+	// Lifetime totals across every Run/RunStore on this Runner,
+	// surfaced by RegisterMetrics for long-lived services.
+	nTraces      atomic.Int64
+	nPoints      atomic.Int64
+	inFlightHigh atomic.Int64
 }
 
 // RunnerOption configures a Runner.
@@ -51,5 +59,26 @@ func (r *Runner) Run(ctx context.Context, m Mechanism, d *Dataset) (*Result, err
 	if m == nil {
 		return nil, errors.New("mobipriv: nil mechanism")
 	}
-	return m.Apply(par.WithWorkers(ctx, r.workers), d)
+	res, err := m.Apply(par.WithWorkers(ctx, r.workers), d)
+	if err == nil {
+		r.nTraces.Add(int64(d.Len()))
+		r.nPoints.Add(int64(d.TotalPoints()))
+	}
+	return res, err
+}
+
+// RegisterMetrics publishes the Runner's lifetime counters on reg
+// under stable runner_* names: traces and points accepted across every
+// Run and RunStore, and the in-flight high-water mark of the
+// store-native pipeline. Safe to call at any time.
+func (r *Runner) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("runner_traces_total",
+		"Input traces processed across every Run and RunStore.",
+		func() float64 { return float64(r.nTraces.Load()) })
+	reg.CounterFunc("runner_points_total",
+		"Input points processed across every Run and RunStore.",
+		func() float64 { return float64(r.nPoints.Load()) })
+	reg.GaugeFunc("runner_in_flight_high_water",
+		"Most traces alive in the store-native worker pipeline at once.",
+		func() float64 { return float64(r.inFlightHigh.Load()) })
 }

@@ -183,5 +183,13 @@ func (r *Runner) RunStoreWith(ctx context.Context, in *store.Store, out *store.W
 	stats.BlocksTotal = scanStats.BlocksTotal
 	stats.BlocksPruned = scanStats.BlocksPruned
 	stats.PeakBufferedUsers = scanStats.PeakBufferedUsers
+	r.nTraces.Add(stats.Traces)
+	r.nPoints.Add(stats.Points)
+	for {
+		old := r.inFlightHigh.Load()
+		if stats.PeakInFlight <= old || r.inFlightHigh.CompareAndSwap(old, stats.PeakInFlight) {
+			break
+		}
+	}
 	return stats, nil
 }
