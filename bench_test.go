@@ -27,6 +27,7 @@ import (
 	"mobipriv/internal/experiment"
 	"mobipriv/internal/mixzone"
 	"mobipriv/internal/obs"
+	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/stream"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
@@ -213,7 +214,10 @@ func streamBenchUpdates(b *testing.B, users int) []stream.Update {
 // benchStreamEngine replays the update stream through an engine running
 // the given factory, reporting sustained points/sec (the serving-path
 // throughput metric mobiserve's acceptance bar is measured against).
-func benchStreamEngine(b *testing.B, shards int, instrument bool, factory stream.Factory) {
+// When tracer is non-nil each pushed batch goes through the traced
+// entry point the way mobiserve drives it: a root span per request
+// (nil when the trace is not sampled — the common case this measures).
+func benchStreamEngine(b *testing.B, shards int, instrument bool, tracer *otrace.Tracer, factory stream.Factory) {
 	updates := streamBenchUpdates(b, 32)
 	var consumed atomic.Uint64
 	eng, err := stream.NewEngine(stream.Config{
@@ -232,13 +236,21 @@ func benchStreamEngine(b *testing.B, shards int, instrument bool, factory stream
 	const batch = 256
 	b.ReportAllocs()
 	b.ResetTimer()
+	req := uint64(0)
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < len(updates); j += batch {
 			end := j + batch
 			if end > len(updates) {
 				end = len(updates)
 			}
-			if err := eng.Push(ctx, updates[j:end]...); err != nil {
+			if tracer != nil {
+				req++
+				sp := tracer.Root("bench.push", tracer.DeriveID(req), 0)
+				if err := eng.PushTraced(ctx, sp, updates[j:end]...); err != nil {
+					b.Fatal(err)
+				}
+				sp.End()
+			} else if err := eng.Push(ctx, updates[j:end]...); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -265,7 +277,7 @@ func benchStreamEngine(b *testing.B, shards int, instrument bool, factory stream
 func BenchmarkStreamEngine(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchStreamEngine(b, shards, false, func(user string) stream.Mechanism {
+			benchStreamEngine(b, shards, false, nil, func(user string) stream.Mechanism {
 				return stream.Promesse{Epsilon: 100, Window: 500}.New(user)
 			})
 		})
@@ -279,7 +291,24 @@ func BenchmarkStreamEngine(b *testing.B) {
 func BenchmarkStreamEngineObs(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchStreamEngine(b, shards, true, func(user string) stream.Mechanism {
+			benchStreamEngine(b, shards, true, nil, func(user string) stream.Mechanism {
+				return stream.Promesse{Epsilon: 100, Window: 500}.New(user)
+			})
+		})
+	}
+}
+
+// BenchmarkStreamEngineTrace is BenchmarkStreamEngine with the metrics
+// registry attached AND a tracer at sample rate 0 driving every push
+// through the traced entry point — the exact configuration a
+// production mobiserve runs in when no trace is sampled. The delta
+// against BenchmarkStreamEngine is the full unsampled tracing
+// overhead; the acceptance bar is ≤5% points/s regression.
+func BenchmarkStreamEngineTrace(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tracer := otrace.New(otrace.Config{SampleRate: 0, Seed: 1})
+			benchStreamEngine(b, shards, true, tracer, func(user string) stream.Mechanism {
 				return stream.Promesse{Epsilon: 100, Window: 500}.New(user)
 			})
 		})
@@ -292,7 +321,7 @@ func BenchmarkStreamEngineObs(b *testing.B) {
 func BenchmarkStreamEngineGeoI(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchStreamEngine(b, shards, false, func(user string) stream.Mechanism {
+			benchStreamEngine(b, shards, false, nil, func(user string) stream.Mechanism {
 				return stream.GeoI{Epsilon: 0.01, Seed: 1}.New(user)
 			})
 		})

@@ -33,6 +33,7 @@ import (
 
 	"mobipriv"
 	"mobipriv/internal/cliutil"
+	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/store"
 	"mobipriv/internal/traceio"
 )
@@ -65,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		from      = fs.String("from", "", "anonymize only points at or after this time (store-native runs)")
 		to        = fs.String("to", "", "anonymize only points at or before this time (store-native runs)")
 		usersFlag = fs.String("users", "", "anonymize only these comma-separated users (store-native runs)")
+		traceSlow = fs.Duration("trace-slow", 0, "log per-trace spans slower than this to stderr (store-native runs; 0 disables)")
 		verbose   = cliutil.Verbose(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +107,19 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	runner := mobipriv.NewRunner(mobipriv.WithWorkers(*workers))
+	if *traceSlow > 0 {
+		// Sample everything: the point of -trace-slow on a batch tool is
+		// to name the traces that dominate the run, not to subsample.
+		runner.SetTracer(otrace.New(otrace.Config{
+			SampleRate:    1,
+			Seed:          uint64(*seed),
+			SlowThreshold: *traceSlow,
+			SlowFunc: func(rs *otrace.RootSpan) {
+				fmt.Fprintf(os.Stderr, "mobianon: slow %s %s (%s): %s\n",
+					rs.Name, attrValue(rs.Root.Attrs, "user"), rs.Trace, rs.Root.Duration)
+			},
+		}))
+	}
 
 	// Store in, store out, per-trace mechanism: run store-natively,
 	// trace-by-trace, without ever materializing the dataset. Batch-only
@@ -189,6 +204,16 @@ func runStoreNative(in, out string, m mobipriv.Mechanism, runner *mobipriv.Runne
 			stats.BlocksPruned, stats.BlocksTotal, stats.PeakInFlight)
 	}
 	return nil
+}
+
+// attrValue returns the value of the named span attribute, or "?".
+func attrValue(attrs []otrace.Attr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return "?"
 }
 
 // describeStage renders one stage report for the operator.

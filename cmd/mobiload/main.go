@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ import (
 
 	"mobipriv/internal/cliutil"
 	"mobipriv/internal/load"
+	"mobipriv/internal/obs"
 )
 
 func main() {
@@ -84,6 +86,13 @@ func run(args []string, stdout io.Writer) error {
 		res.Points, res.Seconds, res.PointsPerS,
 		res.IngestP50ms, res.IngestP95ms, res.IngestP99ms,
 		res.Errors, res.TrafficChecksum)
+	if sd := res.Server; sd != nil {
+		fmt.Fprintf(stdout, "server: %d points in, %d push stalls; p99 decomposition: queue-wait %.2fms (%.0f%%) process %.2fms (%.0f%%) sink %.2fms (%.0f%%)\n",
+			sd.PointsIn, sd.PushStalls,
+			sd.QueueWait.P99ms, 100*sd.QueueWait.ShareP99,
+			sd.Process.P99ms, 100*sd.Process.ShareP99,
+			sd.Sink.P99ms, 100*sd.Sink.ShareP99)
+	}
 
 	if *out != "" {
 		if err := load.WriteBench(*out, "mobiload "+strings.Join(args, " "), res); err != nil {
@@ -93,9 +102,49 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *verbose {
+		if err := dumpLatency(ctx, cfg, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "mobiload: fetch /stats: %v\n", err)
+		}
 		if err := dumpMetrics(ctx, cfg, os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "mobiload: fetch /metrics: %v\n", err)
 		}
+	}
+	return nil
+}
+
+// dumpLatency prints the server's per-histogram quantile summaries
+// from /stats — every latency series (HTTP routes, engine queue-wait /
+// process / sink) as one line of p50/p95/p99.
+func dumpLatency(ctx context.Context, cfg load.Config, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/stats", nil)
+	if err != nil {
+		return err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var st struct {
+		Latency []obs.HistogramSnapshot `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	for _, h := range st.Latency {
+		name := h.Name
+		if h.Labels != "" {
+			name += "{" + h.Labels + "}"
+		}
+		fmt.Fprintf(w, "%s: n=%d p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			name, h.Count, h.P50*1e3, h.P95*1e3, h.P99*1e3)
 	}
 	return nil
 }

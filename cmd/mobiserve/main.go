@@ -30,6 +30,12 @@
 //	               POI recurring across distinct days are flagged.
 //	               ?user=U returns one user (404 when unobserved).
 //	POST /risk/reset  drop monitor state (?user=U for one user).
+//	GET  /debug/traces  flight recorder (JSON; ?format=text for the
+//	               human zpage): recent sampled request traces with
+//	               queue-wait/process/sink decomposition, the slowest
+//	               trace per latency bucket, per-span-kind summaries.
+//	               Sampling is governed by -trace-sample (deterministic
+//	               per trace ID); -trace-slow logs slow roots.
 //
 // With -pprof the standard net/http/pprof debug endpoints are mounted
 // under /debug/pprof/ (opt-in: profiling handlers on a public address
@@ -66,6 +72,7 @@ import (
 	"mobipriv"
 	"mobipriv/internal/cliutil"
 	"mobipriv/internal/obs"
+	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/risk"
 	"mobipriv/internal/store"
 	"mobipriv/internal/stream"
@@ -95,6 +102,8 @@ func run(args []string) error {
 		riskDays  = fs.Int("risk-min-days", 2, "flag users whose output shows a POI recurring on this many distinct days (0 disables the monitor)")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof debug endpoints under /debug/pprof/")
 		list      = fs.Bool("list-streaming", false, "list streaming-capable mechanisms and exit")
+		trSample  = fs.Float64("trace-sample", 1, "fraction of requests traced, deterministic per trace ID (0 disables span recording)")
+		trSlow    = fs.Duration("trace-slow", 0, "log sampled root spans slower than this (0 disables)")
 		verbose   = cliutil.Verbose(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -115,6 +124,8 @@ func run(args []string) error {
 		Seed:        *seed,
 		RiskMinDays: *riskDays,
 		Pprof:       *pprofOn,
+		TraceSample: *trSample,
+		TraceSlow:   *trSlow,
 	})
 	if err != nil {
 		return err
@@ -150,7 +161,7 @@ func run(args []string) error {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					srv.flushStoreSink()
+					srv.flushStoreSinkTraced()
 				}
 			}
 		}()
@@ -183,7 +194,7 @@ func run(args []string) error {
 	// One-line startup summary: every enabled endpoint, so an operator
 	// can see at a glance what this instance exposes (and what it
 	// doesn't — no silent -sink or -pprof surprises).
-	endpoints := []string{"POST /ingest", "POST /flush", "GET /out", "GET /stats", "GET /metrics", "GET /healthz"}
+	endpoints := []string{"POST /ingest", "POST /flush", "GET /out", "GET /stats", "GET /metrics", "GET /healthz", "GET /debug/traces"}
 	if srv.mon != nil {
 		endpoints = append(endpoints, "GET /risk", "POST /risk/reset")
 	}
@@ -228,6 +239,14 @@ type serverConfig struct {
 	RiskMinDays int
 	// Pprof mounts the net/http/pprof debug endpoints.
 	Pprof bool
+	// TraceSample is the fraction of requests recorded as spans,
+	// deterministic per trace ID (so replaying identical traffic with a
+	// fixed seed samples identical requests). 0 disables recording;
+	// /debug/traces stays mounted but empty.
+	TraceSample float64
+	// TraceSlow, when positive, logs every sampled root span at least
+	// this slow.
+	TraceSlow time.Duration
 }
 
 // server owns the engine and fans its output to the sink file and the
@@ -235,6 +254,7 @@ type serverConfig struct {
 type server struct {
 	eng      *stream.Engine
 	reg      *obs.Registry
+	tracer   *otrace.Tracer // nil-safe: zero sample rate still mounts /debug/traces
 	mechName string
 	batch    int
 	started  time.Time
@@ -273,12 +293,27 @@ func newServer(cfg serverConfig) (*server, error) {
 		pprofOn:  cfg.Pprof,
 		subs:     make(map[int]chan []stream.Update),
 	}
+	// The tracer exists whenever a sample rate is set; rate 0 leaves
+	// srv.tracer nil, and every span call site is nil-safe, so an
+	// untraced server pays nothing.
+	if cfg.TraceSample > 0 {
+		srv.tracer = otrace.New(otrace.Config{
+			SampleRate:    cfg.TraceSample,
+			Seed:          uint64(cfg.Seed),
+			SlowThreshold: cfg.TraceSlow,
+			SlowFunc: func(rs *otrace.RootSpan) {
+				log.Printf("mobiserve: slow trace %s %s: %s (%d spans)",
+					rs.Name, rs.Trace, rs.Root.Duration, len(rs.Spans))
+			},
+		})
+	}
 	if cfg.RiskMinDays > 0 {
 		mcfg := risk.DefaultMonitorConfig()
 		mcfg.MinDays = cfg.RiskMinDays
 		if srv.mon, err = risk.NewMonitor(mcfg); err != nil {
 			return nil, err
 		}
+		srv.mon.SetTracer(srv.tracer)
 	}
 	pseudo := stream.Pseudonymize{Prefix: cfg.Pseudonym, Seed: cfg.Seed}
 	eng, err := stream.NewEngine(stream.Config{
@@ -315,6 +350,12 @@ func (s *server) registerMetrics() {
 	s.eng.RegisterMetrics(s.reg)
 	if s.mon != nil {
 		s.mon.RegisterMetrics(s.reg)
+	}
+	obs.RegisterProcessMetrics(s.reg)
+	if s.tracer != nil {
+		s.reg.CounterFunc("trace_published_roots_total",
+			"Root spans published to the flight recorder.",
+			func() float64 { return float64(s.tracer.Published()) })
 	}
 	s.reg.GaugeFunc("mobiserve_uptime_seconds",
 		"Seconds since the server was constructed.",
@@ -417,6 +458,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
+	// Deliberately uninstrumented: reading the flight recorder should
+	// not itself mint spans that displace the traces being read.
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	if s.pprofOn {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -427,8 +471,12 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// instrument wraps a handler with a per-route request counter and
-// latency histogram.
+// instrument wraps a handler with a per-route request counter, a
+// latency histogram, and — when the request's trace is sampled — a root
+// span covering the whole request. An incoming W3C traceparent header
+// keys the sampling decision and parents the span; the span's own
+// identity is echoed back in the response traceparent so the client can
+// join its measurements to the server's flight recorder.
 func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := s.reg.Counter("mobiserve_http_requests_total",
 		"HTTP requests served, by route.", obs.L("route", route))
@@ -436,10 +484,34 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		"HTTP request latency, by route.", obs.L("route", route))
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var sp *otrace.Span
+		if s.tracer != nil {
+			id, parent, _, _ := otrace.ParseTraceparent(r.Header.Get("traceparent"))
+			if sp = s.tracer.RootAt(route, id, parent, start); sp != nil {
+				w.Header().Set("traceparent",
+					otrace.FormatTraceparent(sp.TraceID(), sp.SpanID(), true))
+				r = r.WithContext(otrace.NewContext(r.Context(), sp))
+			}
+		}
 		h(w, r)
 		reqs.Inc()
 		lat.ObserveDuration(time.Since(start))
+		sp.End()
 	}
+}
+
+// handleTraces serves the flight recorder: recent root spans, the
+// slowest exemplar per latency bucket, and per-span-kind summaries.
+// JSON by default; ?format=text renders the human zpage.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	snap := s.tracer.Snapshot(32)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteJSON(w)
 }
 
 // handleMetrics serves the Prometheus text exposition.
@@ -453,13 +525,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // blocking on shard backpressure.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
+	sp := otrace.FromContext(ctx)
 	accepted := 0
 	updates := make([]stream.Update, 0, s.batch)
 	push := func() error {
 		if len(updates) == 0 {
 			return nil
 		}
-		if err := s.eng.Push(ctx, updates...); err != nil {
+		if err := s.eng.PushTraced(ctx, sp, updates...); err != nil {
 			return err
 		}
 		accepted += len(updates)
@@ -486,15 +559,24 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	if sp != nil {
+		sp.SetAttr(otrace.Int("accepted", int64(accepted)))
+	}
 	writeJSON(w, map[string]any{"accepted": accepted})
 }
 
 func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if err := s.eng.Flush(r.Context()); err != nil {
+	sp := otrace.FromContext(r.Context())
+	c := sp.Child("engine.flush")
+	err := s.eng.Flush(r.Context())
+	c.End()
+	if err != nil {
 		httpError(w, err)
 		return
 	}
+	c = sp.Child("sink.flush")
 	s.flushStoreSink()
+	c.End()
 	writeJSON(w, map[string]any{"flushed": true})
 }
 
@@ -513,6 +595,36 @@ func (s *server) flushStoreSink() {
 			log.Printf("mobiserve: store sink flush failed (counting further failures in /stats): %v", err)
 		}
 	}
+}
+
+// flushStoreSinkTraced is the periodic-flush variant: it runs the
+// flush under its own sampled root span recording how many blocks and
+// bytes the flush pushed out, so background sink work shows up in
+// /debug/traces alongside request traces.
+func (s *server) flushStoreSinkTraced() {
+	sp := s.tracer.Root("sink.flush_periodic", otrace.TraceID{}, 0)
+	if sp == nil {
+		s.flushStoreSink()
+		return
+	}
+	before := s.sinkStoreStats()
+	s.flushStoreSink()
+	after := s.sinkStoreStats()
+	sp.SetAttr(
+		otrace.Int("blocks", after.Blocks-before.Blocks),
+		otrace.Int("bytes", after.Bytes-before.Bytes))
+	sp.End()
+}
+
+// sinkStoreStats snapshots the store sink's writer counters (zero
+// when no store sink is attached).
+func (s *server) sinkStoreStats() store.WriterStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sinkStore == nil {
+		return store.WriterStats{}
+	}
+	return s.sinkStore.Stats()
 }
 
 // handleOut streams anonymized output as NDJSON from the moment of
@@ -637,7 +749,14 @@ type statsResponse struct {
 	SinkFails   uint64              `json:"sink_write_failures"`
 	RiskUsers   int                 `json:"risk_users"`
 	RiskFlagged int                 `json:"risk_flagged"`
+	Goroutines  int                 `json:"goroutines"`
+	HeapInuse   uint64              `json:"heap_inuse_bytes"`
+	GCRuns      uint64              `json:"gc_runs"`
 	Shards      []stream.ShardStats `json:"shards"`
+	// Latency is the quantile summary of every histogram series the
+	// registry holds (HTTP routes, engine queue-wait/process/sink) —
+	// the same numbers /metrics exposes as bucket counts.
+	Latency []obs.HistogramSnapshot `json:"latency"`
 }
 
 // handleStats renders the JSON stats view. Every scalar is read back
@@ -662,7 +781,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SinkFails:   uint64(regVal("mobiserve_sink_write_failures_total")),
 		RiskUsers:   int(regVal("risk_users")),
 		RiskFlagged: int(regVal("risk_flagged_users")),
+		Goroutines:  int(regVal("process_goroutines")),
+		HeapInuse:   uint64(regVal("process_heap_inuse_bytes")),
+		GCRuns:      uint64(regVal("process_gc_runs_total")),
 		Shards:      s.eng.Stats().Shards,
+		Latency:     s.reg.HistogramSnapshots(),
 	}
 	if up > 0 {
 		resp.PointsPerS = float64(resp.In) / up

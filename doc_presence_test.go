@@ -37,6 +37,9 @@ func TestPackageDocsPresent(t *testing.T) {
 		{"internal/obs", []string{"counter", "gauge", "histogram", "merge", "prometheus", "idempotent"}},
 		// The load driver: deterministic traffic and checksums.
 		{"internal/load", []string{"deterministic", "hash(user)", "checksum", "mergeable"}},
+		// The tracing layer: deterministic identity and sampling,
+		// nil-safe spans, and the flight-recorder retention story.
+		{"internal/obs/trace", []string{"span", "deterministic", "sampling", "traceparent", "nil-safe", "ring", "exemplar"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"mobipriv/internal/obs"
+	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
@@ -134,6 +135,12 @@ type Result struct {
 	IngestP50ms float64 `json:"ingest_p50_ms"`
 	IngestP95ms float64 `json:"ingest_p95_ms"`
 	IngestP99ms float64 `json:"ingest_p99_ms"`
+
+	// Server is the server-side latency decomposition (queue-wait vs
+	// process vs sink), snapshotted from the target's /stats around the
+	// run. Nil when the target does not expose /stats or does not
+	// publish the decomposition histograms (e.g. a stub).
+	Server *ServerDecomp `json:"server,omitempty"`
 }
 
 // rec is one point in arrival order.
@@ -161,6 +168,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		TargetRate:      cfg.Rate,
 	}
 
+	// Best-effort server snapshot before the traffic: when the target is
+	// a real mobiserve the before/after delta attributes the run's p99
+	// to queue-wait vs process vs sink; a stub without /stats simply
+	// yields no Server block.
+	statsBefore, statsErr := fetchServerStats(ctx, cfg)
+
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -179,7 +192,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			if cfg.Rate > 0 && total > 0 {
 				rate = cfg.Rate * float64(len(streams[w])) / float64(total)
 			}
-			err := sendStream(ctx, cfg, streams[w], rate, hists[w], res)
+			err := sendStream(ctx, cfg, w, streams[w], rate, hists[w], res)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -199,6 +212,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 	res.Seconds = time.Since(start).Seconds()
+	if statsErr == nil {
+		if statsAfter, err := fetchServerStats(ctx, cfg); err == nil {
+			res.Server = decompose(statsBefore, statsAfter)
+		}
+	}
 	if res.Seconds > 0 {
 		res.PointsPerS = float64(res.Points) / res.Seconds
 	}
@@ -288,9 +306,14 @@ func userWorker(user string, n int) int {
 }
 
 // sendStream sends one worker's stream in batches, pacing against rate
-// (points/s; 0 = unpaced) and recording per-request latency.
-func sendStream(ctx context.Context, cfg Config, stream []rec, rate float64, hist *obs.Histogram, res *Result) error {
+// (points/s; 0 = unpaced) and recording per-request latency. Every
+// request carries a W3C traceparent derived from (seed, worker,
+// request index) — a pure function of the traffic, so replaying the
+// same run re-sends identical trace IDs and the server's deterministic
+// sampler records the same requests every time.
+func sendStream(ctx context.Context, cfg Config, worker int, stream []rec, rate float64, hist *obs.Histogram, res *Result) error {
 	var sent int
+	var reqIdx uint64
 	var buf bytes.Buffer
 	start := time.Now()
 	for len(stream) > 0 {
@@ -319,8 +342,12 @@ func sendStream(ctx context.Context, cfg Config, stream []rec, rate float64, his
 				return err
 			}
 		}
+		id := otrace.DeriveID(uint64(cfg.Seed), uint64(worker), reqIdx)
+		tp := otrace.FormatTraceparent(id,
+			otrace.DeriveSpanID(id, 0, "load.request", 0), true)
+		reqIdx++
 		reqStart := time.Now()
-		accepted, err := postIngest(ctx, cfg, buf.Bytes())
+		accepted, err := postIngest(ctx, cfg, buf.Bytes(), tp)
 		hist.ObserveDuration(time.Since(reqStart))
 		atomic.AddInt64(&res.Requests, 1)
 		if err != nil {
@@ -336,12 +363,13 @@ func sendStream(ctx context.Context, cfg Config, stream []rec, rate float64, his
 	return nil
 }
 
-func postIngest(ctx context.Context, cfg Config, body []byte) (int64, error) {
+func postIngest(ctx context.Context, cfg Config, body []byte, traceparent string) (int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+"/ingest", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("traceparent", traceparent)
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
 		return 0, err

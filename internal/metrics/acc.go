@@ -93,13 +93,25 @@ type DistSummary struct {
 	N        int64
 	Mean     float64 // exact (integer-sum) mean
 	Min, Max float64 // exact
-	P50, P95 float64 // histogram quantiles (~4.5% relative resolution)
+	// P50 and P95 are exact order statistics while the pool fits the
+	// KLL sketch (n <= stats.DefaultKLLK), histogram quantiles (~4.5%
+	// relative resolution) beyond.
+	P50, P95 float64
 }
 
 // DistortionAcc pools per-point spatial distortion samples
 // (TraceDistortion; with the completeness direction it pools
 // CompletenessDistortion). Only users present on both sides contribute,
 // so one-sided AddPair calls are no-ops.
+//
+// Quantiles come from two complementary stores. A fixed-size KLL
+// sketch (stats.KLL) holds the raw samples verbatim while the pool is
+// small — the exact regime, where P50/P95 are exact order statistics —
+// and the log-binned histogram answers once the pool outgrows the
+// sketch, at its ~4.5% resolution. Both stores are merge-order
+// invariant in the regime they serve (a multiset below capacity,
+// integer bucket counts above), and the regime switch depends only on
+// the total count, so AddPair and Merge still commute bit-identically.
 type DistortionAcc struct {
 	reverse bool // completeness: original points vs published path
 	n       int64
@@ -107,18 +119,19 @@ type DistortionAcc struct {
 	min     float64
 	max     float64
 	hist    []int64
+	sketch  *stats.KLL
 }
 
 // NewDistortionAcc returns an accumulator for the published-vs-original
 // distortion direction.
 func NewDistortionAcc() *DistortionAcc {
-	return &DistortionAcc{hist: make([]int64, distBins)}
+	return &DistortionAcc{hist: make([]int64, distBins), sketch: stats.NewKLL(stats.DefaultKLLK)}
 }
 
 // NewCompletenessAcc returns an accumulator for the opposite direction:
 // every original point's distance to the published path.
 func NewCompletenessAcc() *DistortionAcc {
-	return &DistortionAcc{reverse: true, hist: make([]int64, distBins)}
+	return &DistortionAcc{reverse: true, hist: make([]int64, distBins), sketch: stats.NewKLL(stats.DefaultKLLK)}
 }
 
 // AddPair folds one user's distortion samples into the accumulator.
@@ -157,6 +170,7 @@ func (a *DistortionAcc) add(d float64) {
 	um := uint64(math.Round(d * 1e6))
 	a.sum.add(um)
 	a.hist[distBin(um)]++
+	a.sketch.Add(d)
 }
 
 // Merge folds another accumulator of the same direction into a.
@@ -175,13 +189,20 @@ func (a *DistortionAcc) Merge(b *DistortionAcc) {
 	for i, c := range b.hist {
 		a.hist[i] += c
 	}
+	a.sketch.Merge(b.sketch)
 }
 
-// quantile returns the histogram quantile, clamped to the exact
-// [min, max] envelope.
+// quantile returns the sample quantile: exact (from the KLL sketch's
+// verbatim samples) while the pool is within the sketch's capacity,
+// the log-histogram's lower bin edge clamped to the exact [min, max]
+// envelope beyond. The regime depends only on the total count, so
+// partitioned-and-merged accumulators agree with serial ones exactly.
 func (a *DistortionAcc) quantile(q float64) float64 {
 	if a.n == 0 {
 		return 0
+	}
+	if a.sketch.Exact() {
+		return a.sketch.Quantile(q)
 	}
 	rank := int64(q * float64(a.n-1))
 	var cum int64

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -157,6 +158,64 @@ func quantileOf(xs []float64, q float64) float64 {
 		}
 	}
 	return cp[int(q*float64(len(cp)-1))]
+}
+
+// TestDistortionAccSketchRegimes pins the two-regime quantile contract:
+// under the KLL capacity the quantiles are exact order statistics, and
+// in BOTH regimes any partition of the samples merged in any order
+// reproduces the serial summary bit-for-bit.
+func TestDistortionAccSketchRegimes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	for _, tc := range []struct {
+		name  string
+		n     int
+		exact bool
+	}{
+		{"exact", 100, true},       // within stats.DefaultKLLK
+		{"histogram", 5000, false}, // beyond capacity
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			vals := make([]float64, tc.n)
+			for i := range vals {
+				vals[i] = rnd.Float64() * 900
+			}
+			serial := NewDistortionAcc()
+			for _, v := range vals {
+				serial.add(v)
+			}
+			want := serial.Summary()
+
+			if tc.exact {
+				sorted := append([]float64(nil), vals...)
+				sort.Float64s(sorted)
+				p50 := sorted[int(0.5*float64(len(sorted)-1))]
+				p95 := sorted[int(0.95*float64(len(sorted)-1))]
+				if want.P50 != p50 || want.P95 != p95 {
+					t.Fatalf("exact-regime quantiles %v/%v, want order statistics %v/%v",
+						want.P50, want.P95, p50, p95)
+				}
+			}
+
+			for _, parts := range []int{2, 5} {
+				accs := make([]*DistortionAcc, parts)
+				for i := range accs {
+					accs[i] = NewDistortionAcc()
+				}
+				for i, pi := range rnd.Perm(len(vals)) {
+					accs[i%parts].add(vals[pi])
+				}
+				root := accs[0]
+				for _, i := range rnd.Perm(parts) {
+					if accs[i] != root {
+						root.Merge(accs[i])
+					}
+				}
+				if got := root.Summary(); !reflect.DeepEqual(want, got) {
+					t.Fatalf("parts=%d: merged summary %+v != serial %+v", parts, got, want)
+				}
+			}
+		})
+	}
 }
 
 // TestDistortionAccIdentity pins the all-zero case: evaluating a

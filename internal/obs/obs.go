@@ -223,6 +223,66 @@ func (r *Registry) Value(name string, labels ...Label) (v float64, ok bool) {
 	}
 }
 
+// HistogramSnapshot is a point-in-time quantile summary of one
+// histogram series, the form JSON views (mobiserve /stats, mobiload
+// -verbose) surface so operators can read latency without a Prometheus
+// server. Quantiles are lower bucket edges in seconds, per the
+// histogram's ~4.5% log-bucket resolution.
+type HistogramSnapshot struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"` // canonical signature, e.g. `route="/ingest"`
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum_s"`
+	P50    float64 `json:"p50_s"`
+	P95    float64 `json:"p95_s"`
+	P99    float64 `json:"p99_s"`
+}
+
+// HistogramSnapshots summarizes every histogram series in the
+// registry, sorted by (name, label signature) — the same canonical
+// order WritePrometheus uses, so JSON and exposition views enumerate
+// identically.
+func (r *Registry) HistogramSnapshots() []HistogramSnapshot {
+	r.mu.Lock()
+	var hists []struct {
+		name, sig string
+		h         *Histogram
+	}
+	for name, fam := range r.families {
+		if fam.kind != kindHistogram {
+			continue
+		}
+		for _, s := range fam.series {
+			if s.hist != nil {
+				hists = append(hists, struct {
+					name, sig string
+					h         *Histogram
+				}{name, s.sig, s.hist})
+			}
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(hists, func(i, j int) bool {
+		if hists[i].name != hists[j].name {
+			return hists[i].name < hists[j].name
+		}
+		return hists[i].sig < hists[j].sig
+	})
+	out := make([]HistogramSnapshot, 0, len(hists))
+	for _, e := range hists {
+		out = append(out, HistogramSnapshot{
+			Name:   e.name,
+			Labels: e.sig,
+			Count:  e.h.Count(),
+			Sum:    e.h.Sum(),
+			P50:    e.h.Quantile(0.50),
+			P95:    e.h.Quantile(0.95),
+			P99:    e.h.Quantile(0.99),
+		})
+	}
+	return out
+}
+
 // register returns the series for (name, labels), creating family and
 // series as needed and enforcing name/kind/help consistency.
 func (r *Registry) register(name, help string, k kind, labels []Label) *series {

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// memStatsCache amortizes runtime.ReadMemStats across the GaugeFuncs
+// that read it: one scrape touches several heap series, but ReadMemStats
+// stops the world, so all of them share a snapshot no older than
+// memStatsTTL.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+const memStatsTTL = time.Second
+
+func (c *memStatsCache) read() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) > memStatsTTL {
+		runtime.ReadMemStats(&c.stat)
+		c.at = now
+	}
+	return c.stat
+}
+
+// RegisterProcessMetrics publishes process self-metrics on reg:
+// uptime (measured from this call), goroutine count, heap usage and GC
+// totals from runtime.MemStats (cached ~1s so a scrape of several
+// series costs one ReadMemStats), and a constant mobipriv_build_info
+// gauge carrying the Go runtime version and the main module version as
+// labels. Idempotent per registry in the sense of the registry's own
+// contract: re-registering with identical help strings is a no-op
+// apart from resetting the uptime epoch.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	cache := &memStatsCache{}
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since process metrics were registered.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("process_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("process_heap_inuse_bytes",
+		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).",
+		func() float64 { return float64(cache.read().HeapInuse) })
+	reg.GaugeFunc("process_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(cache.read().HeapAlloc) })
+	reg.CounterFunc("process_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects (runtime.MemStats.TotalAlloc).",
+		func() float64 { return float64(cache.read().TotalAlloc) })
+	reg.CounterFunc("process_gc_runs_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() float64 { return float64(cache.read().NumGC) })
+	reg.GaugeFunc("mobipriv_build_info",
+		"Constant 1, labeled with build metadata.",
+		func() float64 { return 1 },
+		L("go_version", runtime.Version()),
+		L("module_version", moduleVersion()))
+}
+
+// moduleVersion reports the main module's version from build info —
+// "(devel)" for a working-tree build, "unknown" when build info is
+// unavailable (e.g. a bare `go test` binary on old toolchains).
+func moduleVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok || bi.Main.Version == "" {
+		return "unknown"
+	}
+	return bi.Main.Version
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Snapshot is the zpages view of a tracer: what GET /debug/traces
+// serializes. All fields are plain data so the JSON encoding is
+// deterministic for a deterministic trace history.
+type Snapshot struct {
+	SampleRate float64           `json:"sample_rate"`
+	Published  uint64            `json:"published"`
+	Recent     []RootJSON        `json:"recent"`
+	Exemplars  []ExemplarJSON    `json:"exemplars"`
+	Kinds      []KindSummaryJSON `json:"kinds"`
+}
+
+// RootJSON is one completed trace in wire form.
+type RootJSON struct {
+	TraceID    string     `json:"trace_id"`
+	Name       string     `json:"name"`
+	Start      string     `json:"start"`
+	DurationUs int64      `json:"duration_us"`
+	Root       SpanJSON   `json:"root"`
+	Spans      []SpanJSON `json:"spans,omitempty"`
+}
+
+// SpanJSON is one span in wire form: hex IDs, RFC3339Nano UTC start,
+// microsecond duration.
+type SpanJSON struct {
+	SpanID     string `json:"span_id"`
+	ParentID   string `json:"parent_id,omitempty"`
+	Kind       string `json:"kind"`
+	Start      string `json:"start"`
+	DurationUs int64  `json:"duration_us"`
+	Attrs      []Attr `json:"attrs,omitempty"`
+}
+
+// ExemplarJSON is the slowest root of one latency bucket in wire form.
+type ExemplarJSON struct {
+	Bucket        int      `json:"bucket"`
+	BucketFloorUs int64    `json:"bucket_floor_us"`
+	Root          RootJSON `json:"root"`
+}
+
+// KindSummaryJSON aggregates one span kind in wire form.
+type KindSummaryJSON struct {
+	Kind    string `json:"kind"`
+	Count   uint64 `json:"count"`
+	TotalUs int64  `json:"total_us"`
+	MeanUs  int64  `json:"mean_us"`
+	MaxUs   int64  `json:"max_us"`
+}
+
+func spanJSON(d SpanData) SpanJSON {
+	sj := SpanJSON{
+		SpanID:     d.ID.String(),
+		Kind:       d.Kind,
+		Start:      d.Start.UTC().Format(time.RFC3339Nano),
+		DurationUs: d.Duration.Microseconds(),
+		Attrs:      d.Attrs,
+	}
+	if d.Parent != 0 {
+		sj.ParentID = d.Parent.String()
+	}
+	return sj
+}
+
+func rootJSON(rs *RootSpan) RootJSON {
+	rj := RootJSON{
+		TraceID:    rs.Trace.String(),
+		Name:       rs.Name,
+		Start:      rs.Root.Start.UTC().Format(time.RFC3339Nano),
+		DurationUs: rs.Root.Duration.Microseconds(),
+		Root:       spanJSON(rs.Root),
+	}
+	for i := range rs.Spans {
+		rj.Spans = append(rj.Spans, spanJSON(rs.Spans[i]))
+	}
+	return rj
+}
+
+// Snapshot captures up to maxRecent recent roots (all retained when
+// maxRecent <= 0) plus exemplars and kind summaries.
+func (t *Tracer) Snapshot(maxRecent int) Snapshot {
+	snap := Snapshot{
+		SampleRate: t.SampleRate(),
+		Published:  t.Published(),
+	}
+	for _, rs := range t.Recent(maxRecent) {
+		snap.Recent = append(snap.Recent, rootJSON(rs))
+	}
+	for _, ex := range t.Exemplars() {
+		snap.Exemplars = append(snap.Exemplars, ExemplarJSON{
+			Bucket:        ex.Bucket,
+			BucketFloorUs: BucketFloor(ex.Bucket).Microseconds(),
+			Root:          rootJSON(ex.Root),
+		})
+	}
+	for _, ks := range t.Kinds() {
+		snap.Kinds = append(snap.Kinds, KindSummaryJSON{
+			Kind:    ks.Kind,
+			Count:   ks.Count,
+			TotalUs: ks.Total.Microseconds(),
+			MeanUs:  ks.Mean.Microseconds(),
+			MaxUs:   ks.Max.Microseconds(),
+		})
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the snapshot in the human zpages form: recent roots
+// newest first with their child spans indented, then exemplars, then
+// kind summaries.
+func (s Snapshot) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "tracer: sample_rate=%g published=%d\n", s.SampleRate, s.Published)
+	fmt.Fprintf(bw, "\nrecent roots (%d, newest first):\n", len(s.Recent))
+	for i := range s.Recent {
+		writeRootText(bw, &s.Recent[i])
+	}
+	fmt.Fprintf(bw, "\nexemplars (slowest per latency bucket):\n")
+	for i := range s.Exemplars {
+		ex := &s.Exemplars[i]
+		fmt.Fprintf(bw, "[>= %s]\n", time.Duration(ex.BucketFloorUs)*time.Microsecond)
+		writeRootText(bw, &ex.Root)
+	}
+	fmt.Fprintf(bw, "\nspan kinds:\n")
+	for _, k := range s.Kinds {
+		fmt.Fprintf(bw, "  %-24s count=%-8d mean=%-12s max=%-12s total=%s\n",
+			k.Kind, k.Count,
+			time.Duration(k.MeanUs)*time.Microsecond,
+			time.Duration(k.MaxUs)*time.Microsecond,
+			time.Duration(k.TotalUs)*time.Microsecond)
+	}
+	return bw.err
+}
+
+func writeRootText(w io.Writer, r *RootJSON) {
+	fmt.Fprintf(w, "  %s %s %s (%s)\n",
+		r.TraceID, r.Name, time.Duration(r.DurationUs)*time.Microsecond, r.Start)
+	for i := range r.Spans {
+		sp := &r.Spans[i]
+		fmt.Fprintf(w, "    %-24s %-12s span=%s", sp.Kind,
+			time.Duration(sp.DurationUs)*time.Microsecond, sp.SpanID)
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,90 @@
+package trace
+
+// W3C traceparent: version "00", 32 hex trace-id, 16 hex parent-id,
+// 2 hex flags — "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01".
+// This is the only wire format the tracer speaks; it is what lets
+// cmd/mobiload (and later the multi-node router) hand mobiserve the
+// trace identity instead of minting a fresh one per hop.
+
+const (
+	traceparentLen = 55 // 2 + 1 + 32 + 1 + 16 + 1 + 2
+	// FlagSampled is the sampled bit of the trace-flags byte.
+	FlagSampled = 0x01
+)
+
+// FormatTraceparent renders a W3C traceparent header value.
+func FormatTraceparent(id TraceID, span SpanID, sampled bool) string {
+	var b [traceparentLen]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	putHex(b[3:19], id.Hi)
+	putHex(b[19:35], id.Lo)
+	b[35] = '-'
+	putHex(b[36:52], uint64(span))
+	b[52] = '-'
+	flags := byte(0)
+	if sampled {
+		flags = FlagSampled
+	}
+	putHex(b[53:55], uint64(flags))
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version except the invalid "ff", requires lowercase hex, and
+// rejects all-zero trace and span IDs per the spec. ok is false on any
+// violation; callers then mint a local trace ID instead.
+func ParseTraceparent(s string) (id TraceID, span SpanID, sampled bool, ok bool) {
+	if len(s) < traceparentLen {
+		return TraceID{}, 0, false, false
+	}
+	// Version: two hex digits, not "ff". Later versions may append
+	// fields after the flags; ignore anything past byte 55 in that
+	// case, but version 00 must be exactly 55 bytes.
+	ver, vok := parseHex(s[0:2])
+	if !vok || ver == 0xff || s[2] != '-' {
+		return TraceID{}, 0, false, false
+	}
+	if ver == 0 && len(s) != traceparentLen {
+		return TraceID{}, 0, false, false
+	}
+	if len(s) > traceparentLen && s[traceparentLen] != '-' {
+		return TraceID{}, 0, false, false
+	}
+	hi, ok1 := parseHex(s[3:19])
+	lo, ok2 := parseHex(s[19:35])
+	if !ok1 || !ok2 || s[35] != '-' {
+		return TraceID{}, 0, false, false
+	}
+	id = TraceID{Hi: hi, Lo: lo}
+	if id.IsZero() {
+		return TraceID{}, 0, false, false
+	}
+	sp, ok3 := parseHex(s[36:52])
+	if !ok3 || sp == 0 || s[52] != '-' {
+		return TraceID{}, 0, false, false
+	}
+	flags, ok4 := parseHex(s[53:55])
+	if !ok4 {
+		return TraceID{}, 0, false, false
+	}
+	return id, SpanID(sp), flags&FlagSampled != 0, true
+}
+
+// parseHex decodes lowercase hex (the only case traceparent allows).
+func parseHex(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}

@@ -10,6 +10,7 @@ import (
 
 	"mobipriv/internal/geo"
 	"mobipriv/internal/obs"
+	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/poi"
 	"mobipriv/internal/trace"
 )
@@ -97,6 +98,11 @@ type Monitor struct {
 	// Lifetime totals (they survive Reset/ResetAll), for RegisterMetrics.
 	nStays  atomic.Uint64 // stays absorbed into cluster evidence
 	nEvicts atomic.Uint64 // clusters evicted at the MaxPOIs cap
+
+	// tracer, when set by SetTracer, records a "risk.update" root span
+	// per Observe batch. Atomic so attaching never races the shard
+	// goroutines calling Observe; nil (the default) costs one load.
+	tracer atomic.Pointer[otrace.Tracer]
 }
 
 // userMonitor is the per-user state: the streaming detector and the
@@ -106,6 +112,7 @@ type userMonitor struct {
 	last     time.Time // time of the newest observed point, for MaxGap
 	clusters []*riskCluster
 	stays    int
+	obsSeq   uint64 // Observe batches seen, the trace-ID derivation sequence
 }
 
 // riskCluster is one online POI cluster: a duration-weighted running
@@ -131,14 +138,27 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 // Config returns the monitor's configuration.
 func (m *Monitor) Config() MonitorConfig { return m.cfg }
 
+// SetTracer attaches a tracer: each subsequent Observe batch becomes a
+// "risk.update" root span whose trace ID derives from (user, per-user
+// sequence), so a deterministic replay samples the identical updates.
+// Safe to call at any time; nil detaches.
+func (m *Monitor) SetTracer(t *otrace.Tracer) { m.tracer.Store(t) }
+
 // Observe feeds published points of one user, in stream order.
 func (m *Monitor) Observe(user string, pts ...trace.Point) {
 	if len(pts) == 0 {
 		return
 	}
+	tr := m.tracer.Load()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	um := m.userLocked(user)
+	var sp *otrace.Span
+	if tr != nil {
+		um.obsSeq++
+		sp = tr.Root("risk.update", tr.DeriveID(otrace.Key(user), um.obsSeq), 0)
+	}
+	before := um.stays
 	for _, p := range pts {
 		if m.cfg.MaxGap > 0 && !um.last.IsZero() && p.Time.Sub(um.last) > m.cfg.MaxGap {
 			if s, ok := um.acc.Flush(); ok {
@@ -149,6 +169,11 @@ func (m *Monitor) Observe(user string, pts ...trace.Point) {
 		if s, ok := um.acc.Push(p); ok {
 			m.absorbLocked(um, s)
 		}
+	}
+	if sp != nil {
+		sp.SetAttr(otrace.Int("points", int64(len(pts))),
+			otrace.Int("stays", int64(um.stays-before)))
+		sp.End()
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mobipriv/internal/obs"
+	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/par"
 )
 
@@ -116,14 +117,33 @@ type Engine struct {
 	// is an atomic pointer so registration never races the hot path;
 	// when nil (the default) Push takes no clock readings at all.
 	pushHist atomic.Pointer[obs.Histogram]
+
+	// hists, when set by RegisterMetrics, decomposes per-batch latency
+	// into queue-wait, mechanism-process and sink time. Same contract
+	// as pushHist: nil means the shard loop takes no extra clock
+	// readings.
+	hists atomic.Pointer[applyHists]
+}
+
+// applyHists are the per-batch latency decomposition histograms. They
+// are registered (or not) as one unit so the shard loop tests a single
+// pointer.
+type applyHists struct {
+	queueWait *obs.Histogram
+	process   *obs.Histogram
+	sink      *obs.Histogram
 }
 
 type shardMsg struct {
 	batch []Update
 	flush chan<- struct{} // non-nil: flush+evict all users, then signal
+	sp    *otrace.Span    // non-nil: the batch span; the shard records its children and ends it
+	enq   time.Time       // enqueue time when the batch is timed (span or hists)
 }
 
 type shard struct {
+	idx     int
+	hists   *atomic.Pointer[applyHists] // the engine's decomposition histograms
 	in      chan shardMsg
 	users   map[string]*userState
 	factory Factory
@@ -160,6 +180,8 @@ func NewEngine(cfg Config, factory Factory) (*Engine, error) {
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{
+			idx:     i,
+			hists:   &e.hists,
 			in:      make(chan shardMsg, cfg.QueueDepth),
 			users:   make(map[string]*userState),
 			factory: factory,
@@ -193,6 +215,17 @@ func (e *Engine) Run(ctx context.Context) error {
 // Push call that share a user keep their relative order. The slice is
 // copied before enqueueing, so callers may reuse it immediately.
 func (e *Engine) Push(ctx context.Context, updates ...Update) error {
+	return e.PushTraced(ctx, nil, updates...)
+}
+
+// PushTraced is Push carrying an optional parent span. When sp is
+// non-nil, each per-shard batch becomes an "engine.batch" child whose
+// queue-wait, process and sink intervals the owning shard records
+// before ending it — the root trace publishes only after every shard
+// has finished its batches, even if that outlives the HTTP request.
+// A nil sp is exactly Push: when the decomposition histograms are also
+// unregistered, the shard path takes no extra clock readings.
+func (e *Engine) PushTraced(ctx context.Context, sp *otrace.Span, updates ...Update) error {
 	if len(updates) == 0 {
 		return nil
 	}
@@ -205,10 +238,17 @@ func (e *Engine) Push(ctx context.Context, updates ...Update) error {
 	if e.closed {
 		return ErrClosed
 	}
+	timed := sp != nil || e.hists.Load() != nil
 	if len(e.shards) == 1 {
 		batch := make([]Update, len(updates))
 		copy(batch, updates)
-		return e.send(ctx, e.shards[0], shardMsg{batch: batch})
+		msg := shardMsg{batch: batch}
+		msg.sp, msg.enq = stampBatch(sp, 0, len(batch), timed)
+		if err := e.send(ctx, e.shards[0], msg); err != nil {
+			msg.sp.End()
+			return err
+		}
+		return nil
 	}
 	// Partition into one backing array by counting-sort on the shard
 	// index (two cheap hash passes, a fixed handful of allocations per
@@ -236,11 +276,33 @@ func (e *Engine) Push(ctx context.Context, updates ...Update) error {
 		if counts[i] == 0 {
 			continue
 		}
-		if err := e.send(ctx, e.shards[i], shardMsg{batch: backing[starts[i] : starts[i]+counts[i]]}); err != nil {
+		msg := shardMsg{batch: backing[starts[i] : starts[i]+counts[i]]}
+		msg.sp, msg.enq = stampBatch(sp, i, counts[i], timed)
+		if err := e.send(ctx, e.shards[i], msg); err != nil {
+			msg.sp.End() // shard never saw it; don't leak the root ref
 			return err
 		}
 	}
 	return nil
+}
+
+// stampBatch builds the per-batch span and enqueue timestamp (returned
+// by value so the message never escapes to the heap on the untraced
+// path). The child span is created here, in the pushing goroutine, so
+// a replayed request creates its engine.batch spans in a deterministic
+// order: the per-parent sequence numbers — and hence the span IDs —
+// depend only on shard iteration order, not on goroutine scheduling.
+func stampBatch(sp *otrace.Span, shardIdx, points int, timed bool) (*otrace.Span, time.Time) {
+	var enq time.Time
+	if timed {
+		enq = time.Now()
+	}
+	var bsp *otrace.Span
+	if sp != nil {
+		bsp = sp.Child("engine.batch")
+		bsp.SetAttr(otrace.Int("shard", int64(shardIdx)), otrace.Int("points", int64(points)))
+	}
+	return bsp, enq
 }
 
 // Flush flushes and evicts every user on every shard, waiting until all
@@ -324,6 +386,14 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 	e.pushHist.Store(reg.Histogram("stream_push_seconds",
 		"Latency of Engine.Push calls (partition + enqueue, including backpressure stalls)."))
+	e.hists.Store(&applyHists{
+		queueWait: reg.Histogram("stream_queue_wait_seconds",
+			"Time a batch waited in its shard queue before the shard picked it up."),
+		process: reg.Histogram("stream_process_seconds",
+			"Time a shard spent feeding a batch through the per-user mechanisms."),
+		sink: reg.Histogram("stream_sink_seconds",
+			"Time a shard spent in the sink callback publishing a batch's output."),
+	})
 	reg.CounterFunc("stream_points_in_total",
 		"Points received by the engine.",
 		func() float64 { return float64(e.Stats().In) })
@@ -423,7 +493,7 @@ func (s *shard) run(ctx context.Context) error {
 				close(msg.flush)
 				continue
 			}
-			s.apply(msg.batch)
+			s.apply(msg)
 		case now := <-tick:
 			s.evictIdle(now)
 		}
@@ -431,10 +501,29 @@ func (s *shard) run(ctx context.Context) error {
 }
 
 // apply feeds one batch through the per-user mechanisms and emits the
-// published points as one sink batch.
-func (s *shard) apply(batch []Update) {
-	out := s.scratch[:0]
+// published points as one sink batch. When the batch is timed (a span
+// rode along or the decomposition histograms are registered) the
+// queue-wait, process and sink intervals are measured and recorded;
+// otherwise the only clock reading is the lastSeen stamp the idle
+// sweeper needs, exactly as before instrumentation existed.
+func (s *shard) apply(msg shardMsg) {
+	batch := msg.batch
+	hists := s.hists.Load()
+	sp := msg.sp
 	now := time.Now()
+	if !msg.enq.IsZero() {
+		qw := now.Sub(msg.enq)
+		if qw < 0 {
+			qw = 0
+		}
+		if hists != nil {
+			hists.queueWait.ObserveDuration(qw)
+		}
+		if sp != nil {
+			sp.Record("engine.queue_wait", msg.enq, qw)
+		}
+	}
+	out := s.scratch[:0]
 	for _, u := range batch {
 		st := s.users[u.User]
 		if st == nil {
@@ -451,7 +540,29 @@ func (s *shard) apply(batch []Update) {
 		}
 	}
 	s.nIn.Add(uint64(len(batch)))
+	if hists == nil && sp == nil {
+		s.emit(out)
+		s.scratch = out[:0]
+		return
+	}
+	tSink := time.Now()
+	procD := tSink.Sub(now)
+	if hists != nil {
+		hists.process.ObserveDuration(procD)
+	}
+	if sp != nil {
+		sp.Record("engine.process", now, procD,
+			otrace.Int("points", int64(len(batch))), otrace.Int("out", int64(len(out))))
+	}
 	s.emit(out)
+	sinkD := time.Since(tSink)
+	if hists != nil {
+		hists.sink.ObserveDuration(sinkD)
+	}
+	if sp != nil {
+		sp.Record("engine.sink", tSink, sinkD)
+		sp.End()
+	}
 	s.scratch = out[:0]
 }
 

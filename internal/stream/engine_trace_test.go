@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mobipriv/internal/obs"
+	otrace "mobipriv/internal/obs/trace"
+	"mobipriv/internal/trace"
+)
+
+// traceTestEngine starts a 4-shard identity engine, registered on reg
+// when non-nil, with cleanup wired to the test.
+func traceTestEngine(t *testing.T, reg *obs.Registry) *Engine {
+	t.Helper()
+	eng, stop := startEngine(t, Config{Shards: 4},
+		func(user string) Mechanism { return Passthrough{}.New(user) })
+	if reg != nil {
+		eng.RegisterMetrics(reg)
+	}
+	t.Cleanup(stop)
+	return eng
+}
+
+func tracePoints(n int) []Update {
+	out := make([]Update, n)
+	base := time.Unix(1_700_000_000, 0)
+	for i := range out {
+		out[i] = Update{
+			User:  "u" + string(rune('a'+i%7)),
+			Point: trace.P(48+float64(i)*1e-4, 2+float64(i)*1e-4, base.Add(time.Duration(i)*time.Second)),
+		}
+	}
+	return out
+}
+
+// TestPushTracedSpans drives a traced push through the engine and
+// checks the published trace decomposes each shard batch into
+// queue-wait, process and sink children.
+func TestPushTracedSpans(t *testing.T) {
+	tr := otrace.New(otrace.Config{SampleRate: 1, Seed: 42})
+	eng := traceTestEngine(t, nil)
+
+	root := tr.Root("POST /ingest", tr.DeriveID(1), 0)
+	if err := eng.PushTraced(otrace.NewContext(context.Background(), root), root, tracePoints(64)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Published() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("trace never published")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rs := tr.Recent(1)[0]
+	counts := map[string]int{}
+	batchIDs := map[otrace.SpanID]bool{}
+	for _, sp := range rs.Spans {
+		counts[sp.Kind]++
+		if sp.Kind == "engine.batch" {
+			batchIDs[sp.ID] = true
+			if sp.Parent != rs.Root.ID {
+				t.Fatalf("engine.batch parented to %v, want root %v", sp.Parent, rs.Root.ID)
+			}
+		}
+	}
+	nb := counts["engine.batch"]
+	if nb == 0 || nb > 4 {
+		t.Fatalf("engine.batch count %d, want 1..4 (one per nonempty shard)", nb)
+	}
+	for _, kind := range []string{"engine.queue_wait", "engine.process", "engine.sink"} {
+		if counts[kind] != nb {
+			t.Fatalf("%s count %d, want %d (one per batch)", kind, counts[kind], nb)
+		}
+	}
+	// Decomposition children hang off their batch span, not the root.
+	for _, sp := range rs.Spans {
+		if sp.Kind == "engine.queue_wait" || sp.Kind == "engine.process" || sp.Kind == "engine.sink" {
+			if !batchIDs[sp.Parent] {
+				t.Fatalf("%s parented to %v, not an engine.batch span", sp.Kind, sp.Parent)
+			}
+		}
+	}
+}
+
+// TestPushTracedSpanIDsDeterministic replays the identical traced
+// workload on two engines and requires byte-identical span IDs — the
+// acceptance criterion that makes sampled traces comparable across
+// reruns. Span *IDs* must match even though shard goroutine scheduling
+// differs; only durations may vary.
+func TestPushTracedSpanIDsDeterministic(t *testing.T) {
+	run := func() map[string]bool {
+		tr := otrace.New(otrace.Config{SampleRate: 1, Seed: 42})
+		eng := traceTestEngine(t, nil)
+		pts := tracePoints(64)
+		for req := 0; req < 3; req++ {
+			root := tr.Root("POST /ingest", tr.DeriveID(uint64(req)), 0)
+			if err := eng.PushTraced(context.Background(), root, pts[req*16:(req+1)*16]...); err != nil {
+				t.Fatal(err)
+			}
+			root.End()
+		}
+		if err := eng.Flush(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for tr.Published() < 3 {
+			if time.Now().After(deadline) {
+				t.Fatal("traces never published")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		ids := map[string]bool{}
+		for _, rs := range tr.Recent(0) {
+			ids[rs.Trace.String()+"/"+rs.Root.ID.String()] = true
+			for _, sp := range rs.Spans {
+				ids[rs.Trace.String()+"/"+sp.ID.String()] = true
+			}
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replays produced %d vs %d span IDs", len(a), len(b))
+	}
+	for id := range a {
+		if !b[id] {
+			t.Fatalf("span ID %s missing from replay", id)
+		}
+	}
+}
+
+// TestDecompositionHistograms checks the three stream_*_seconds
+// histograms fill in even without a span riding along, and that their
+// batch counts agree with each other.
+func TestDecompositionHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := traceTestEngine(t, reg)
+	if err := eng.Push(context.Background(), tracePoints(128)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h := eng.hists.Load()
+	if h == nil {
+		t.Fatal("histograms not registered")
+	}
+	qw, pr, sk := h.queueWait.Count(), h.process.Count(), h.sink.Count()
+	if qw == 0 || qw != pr || pr != sk {
+		t.Fatalf("batch counts disagree: queue_wait=%d process=%d sink=%d", qw, pr, sk)
+	}
+}

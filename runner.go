@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"mobipriv/internal/obs"
+	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/par"
 )
 
@@ -29,6 +30,9 @@ type Runner struct {
 	nTraces      atomic.Int64
 	nPoints      atomic.Int64
 	inFlightHigh atomic.Int64
+
+	// tracer, when set, samples per-trace run.trace spans in RunStore.
+	tracer atomic.Pointer[otrace.Tracer]
 }
 
 // RunnerOption configures a Runner.
@@ -52,6 +56,13 @@ func NewRunner(opts ...RunnerOption) *Runner {
 
 // Workers reports the configured pool size (0 meaning per-CPU).
 func (r *Runner) Workers() int { return r.workers }
+
+// SetTracer attaches a tracer to the Runner: RunStore then emits one
+// sampled run.trace root span per processed trace, with the span's
+// trace ID derived from the user name so the same users are sampled on
+// every replay of the same dataset. Pass nil to detach. Safe to call
+// concurrently with runs.
+func (r *Runner) SetTracer(t *otrace.Tracer) { r.tracer.Store(t) }
 
 // Run applies the mechanism with this Runner's worker budget attached
 // to the context. Cancelling ctx aborts the work.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/par"
 	"mobipriv/internal/store"
 	"mobipriv/internal/trace"
@@ -120,12 +121,23 @@ func (r *Runner) RunStoreWith(ctx context.Context, in *store.Store, out *store.W
 	// every worker has a trace in hand and one waiting, so the input
 	// side can never race ahead of the mechanism.
 	ch := make(chan *trace.Trace, workers)
+	// Trace IDs key off the user name, so for a fixed tracer seed the
+	// same users are sampled on every replay regardless of worker count
+	// or scheduling.
+	tcr := r.tracer.Load()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for tr := range ch {
+				var sp *otrace.Span
+				if tcr != nil {
+					sp = tcr.Root("run.trace", tcr.DeriveID(otrace.Key(tr.User)), 0)
+					if sp != nil {
+						sp.SetAttr(otrace.A("user", tr.User), otrace.Int("points", int64(tr.Len())))
+					}
+				}
 				res, err := fn(cctx, tr)
 				switch {
 				case err != nil:
@@ -141,6 +153,10 @@ func (r *Runner) RunStoreWith(ctx context.Context, in *store.Store, out *store.W
 						atomic.AddInt64(&stats.OutTraces, 1)
 						atomic.AddInt64(&stats.OutPoints, int64(res.Len()))
 					}
+				}
+				if sp != nil {
+					sp.SetAttr(otrace.Int("out_points", int64(outLen(res))))
+					sp.End()
 				}
 				atomic.AddInt64(&inFlight, -1)
 			}
@@ -192,4 +208,12 @@ func (r *Runner) RunStoreWith(ctx context.Context, in *store.Store, out *store.W
 		}
 	}
 	return stats, nil
+}
+
+// outLen is res.Len() tolerant of a dropped (nil) trace.
+func outLen(res *trace.Trace) int {
+	if res == nil {
+		return 0
+	}
+	return res.Len()
 }
