@@ -96,7 +96,8 @@ func run(args []string) error {
 		queue     = fs.Int("queue", 64, "per-shard queue depth in batches (backpressure bound)")
 		batch     = fs.Int("batch", 256, "ingest batch size in points")
 		ttl       = fs.Duration("ttl", 10*time.Minute, "evict users idle longer than this (0 disables)")
-		sink      = fs.String("sink", "", "append anonymized output to this NDJSON file, or to a native store when the path ends in .mstore")
+		sink      = fs.String("sink", "", "append anonymized output to this NDJSON file, or to a native store when the path ends in .mstore (an existing store is extended across restarts)")
+		sinkFresh = fs.Bool("sink-fresh", false, "refuse to extend an existing .mstore sink: the path must not already hold a store")
 		pseudonym = fs.String("pseudonym", "", "relabel output users with this pseudonym prefix")
 		seed      = fs.Int64("seed", 1, "pseudonym seed")
 		riskDays  = fs.Int("risk-min-days", 2, "flag users whose output shows a POI recurring on this many distinct days (0 disables the monitor)")
@@ -132,14 +133,9 @@ func run(args []string) error {
 	}
 	if *sink != "" {
 		if strings.HasSuffix(*sink, ".mstore") {
-			// Store sink: streamed output lands in the same sharded
-			// columnar format the batch tools read. The store becomes
-			// readable when the writer is finalized at shutdown.
-			sw, err := store.Create(*sink, store.Options{})
-			if err != nil {
-				return fmt.Errorf("create store sink: %w", err)
+			if err := srv.attachStoreSink(*sink, *sinkFresh); err != nil {
+				return err
 			}
-			srv.sinkStore = sw
 		} else {
 			f, err := os.OpenFile(*sink, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
@@ -387,6 +383,55 @@ func (s *server) registerMetrics() {
 	s.reg.CounterFunc("mobiserve_sink_store_points_total",
 		"Points written by the .mstore sink.",
 		sinkStat(func(st store.WriterStats) int64 { return st.Points }))
+	// Recovery view: what OpenAppend found (and cleaned up) when the
+	// sink was attached. Zero until a .mstore sink is attached.
+	recStat := func(pick func(store.RecoveryStats) int64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			sw := s.sinkStore
+			s.mu.Unlock()
+			if sw == nil {
+				return 0
+			}
+			return float64(pick(sw.Recovery()))
+		}
+	}
+	s.reg.CounterFunc("store_recovery_runs",
+		"Recovery passes run when the .mstore sink was opened.",
+		recStat(func(r store.RecoveryStats) int64 { return r.Runs }))
+	s.reg.CounterFunc("store_truncated_tails",
+		"Uncommitted segment files removed and torn tails truncated by sink recovery.",
+		recStat(func(r store.RecoveryStats) int64 { return r.TruncatedTails }))
+	s.reg.GaugeFunc("store_generations",
+		"Committed generations the .mstore sink extends (this session's data becomes one more at shutdown).",
+		recStat(func(r store.RecoveryStats) int64 { return r.Generation }))
+}
+
+// attachStoreSink opens path as the server's .mstore sink. By default
+// the store is opened for append — an existing store left by a
+// previous run (even one that crashed) is recovered and extended with
+// a new generation. With fresh set, the path must not already hold a
+// store: Create refuses it, surfacing accidental reuse instead of
+// silently growing the wrong dataset.
+func (s *server) attachStoreSink(path string, fresh bool) error {
+	if fresh {
+		sw, err := store.Create(path, store.Options{})
+		if err != nil {
+			return fmt.Errorf("create store sink: %w", err)
+		}
+		s.sinkStore = sw
+		return nil
+	}
+	sw, err := store.OpenAppend(path, store.Options{})
+	if err != nil {
+		return fmt.Errorf("open store sink: %w", err)
+	}
+	if rec := sw.Recovery(); rec.Generation > 0 || rec.TruncatedTails > 0 {
+		log.Printf("mobiserve: store sink %s: extending %d committed generation(s), recovery cleaned %d uncommitted file(s)",
+			path, rec.Generation, rec.TruncatedTails)
+	}
+	s.sinkStore = sw
+	return nil
 }
 
 // sink receives anonymized batches from the shard goroutines. The
@@ -737,16 +782,21 @@ func (s *server) handleRiskReset(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /stats wire format.
 type statsResponse struct {
-	Mechanism   string              `json:"mechanism"`
-	UptimeS     float64             `json:"uptime_s"`
-	In          uint64              `json:"points_in"`
-	Out         uint64              `json:"points_out"`
-	PointsPerS  float64             `json:"points_per_s"`
-	Evicted     uint64              `json:"evicted_users"`
-	Stalls      uint64              `json:"push_stalls"`
-	ActiveUsers int                 `json:"active_users"`
-	DroppedSub  uint64              `json:"dropped_subscriber_points"`
-	SinkFails   uint64              `json:"sink_write_failures"`
+	Mechanism   string  `json:"mechanism"`
+	UptimeS     float64 `json:"uptime_s"`
+	In          uint64  `json:"points_in"`
+	Out         uint64  `json:"points_out"`
+	PointsPerS  float64 `json:"points_per_s"`
+	Evicted     uint64  `json:"evicted_users"`
+	Stalls      uint64  `json:"push_stalls"`
+	ActiveUsers int     `json:"active_users"`
+	DroppedSub  uint64  `json:"dropped_subscriber_points"`
+	SinkFails   uint64  `json:"sink_write_failures"`
+	// Store-sink view: points this session wrote, plus what recovery
+	// found at open. Zero without a .mstore sink.
+	SinkPoints  uint64              `json:"sink_store_points"`
+	SinkGens    uint64              `json:"sink_store_generations"`
+	SinkRecov   uint64              `json:"sink_recovery_runs"`
 	RiskUsers   int                 `json:"risk_users"`
 	RiskFlagged int                 `json:"risk_flagged"`
 	Goroutines  int                 `json:"goroutines"`
@@ -779,6 +829,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ActiveUsers: int(regVal("stream_active_users")),
 		DroppedSub:  uint64(regVal("mobiserve_dropped_subscriber_points_total")),
 		SinkFails:   uint64(regVal("mobiserve_sink_write_failures_total")),
+		SinkPoints:  uint64(regVal("mobiserve_sink_store_points_total")),
+		SinkGens:    uint64(regVal("store_generations")),
+		SinkRecov:   uint64(regVal("store_recovery_runs")),
 		RiskUsers:   int(regVal("risk_users")),
 		RiskFlagged: int(regVal("risk_flagged_users")),
 		Goroutines:  int(regVal("process_goroutines")),

@@ -257,6 +257,124 @@ func TestServeStoreSink(t *testing.T) {
 	}
 }
 
+func getStats(t *testing.T, url string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSinkReopenAcrossRestart is the continuous-ingest acceptance: two
+// server lifecycles share one .mstore sink path, the second reopening
+// what the first committed. The restarted server must report the
+// recovery pass over /stats and /metrics, and the final store must hold
+// the union — each lifecycle's /stats point count summing to the
+// store's total.
+func TestSinkReopenAcrossRestart(t *testing.T) {
+	d := testDataset(t, 6)
+	all := d.Traces()
+	d1, err := trace.NewDataset(all[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := trace.NewDataset(all[3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sink.mstore")
+
+	// Lifecycle 1: -sink-fresh, the path must not exist yet.
+	srv1, hs1, stop1 := startServer(t, serverConfig{Spec: "raw", Shards: 3})
+	if err := srv1.attachStoreSink(path, true); err != nil {
+		t.Fatal(err)
+	}
+	postNDJSON(t, hs1.URL, d1)
+	postFlush(t, hs1.URL)
+	st1 := getStats(t, hs1.URL)
+	if st1.SinkPoints != uint64(d1.TotalPoints()) {
+		t.Fatalf("lifecycle 1 sink_store_points = %d, want %d", st1.SinkPoints, d1.TotalPoints())
+	}
+	stop1()
+	if err := srv1.sinkStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// -sink-fresh over an existing store must refuse, not overwrite.
+	srvRefuse, _, stopRefuse := startServer(t, serverConfig{Spec: "raw", Shards: 1})
+	if err := srvRefuse.attachStoreSink(path, true); err == nil || !strings.Contains(err.Error(), "exists") {
+		t.Fatalf("fresh attach over existing store: err = %v, want ErrExists", err)
+	}
+	stopRefuse()
+
+	// Lifecycle 2: default reopen-for-append extends the same store.
+	srv2, hs2, stop2 := startServer(t, serverConfig{Spec: "raw", Shards: 3})
+	if err := srv2.attachStoreSink(path, false); err != nil {
+		t.Fatalf("reopen for append: %v", err)
+	}
+	postNDJSON(t, hs2.URL, d2)
+	postFlush(t, hs2.URL)
+	st2 := getStats(t, hs2.URL)
+	if st2.SinkPoints != uint64(d2.TotalPoints()) {
+		t.Fatalf("lifecycle 2 sink_store_points = %d, want %d", st2.SinkPoints, d2.TotalPoints())
+	}
+	if st2.SinkRecov != 1 || st2.SinkGens != 1 {
+		t.Fatalf("lifecycle 2 recovery stats = runs %d gens %d, want 1 committed generation recovered once", st2.SinkRecov, st2.SinkGens)
+	}
+	// The same counters must be scrapable from /metrics.
+	resp, err := http.Get(hs2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{"store_recovery_runs 1", "store_generations 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	stop2()
+	if err := srv2.sinkStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The finalized store holds both lifecycles' output, and the per-
+	// lifecycle /stats counts sum to its total.
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatalf("reopened sink store unreadable: %v", err)
+	}
+	defer s.Close()
+	if g := s.Manifest().Generations; g != 2 {
+		t.Errorf("store has %d generations, want 2", g)
+	}
+	got, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("store holds %d users, want %d", got.Len(), d.Len())
+	}
+	if total := uint64(got.TotalPoints()); total != st1.SinkPoints+st2.SinkPoints {
+		t.Fatalf("store holds %d points, lifecycles reported %d + %d", total, st1.SinkPoints, st2.SinkPoints)
+	}
+	for _, wtr := range d.Traces() {
+		gtr := got.ByUser(wtr.User)
+		if gtr == nil || gtr.Len() != wtr.Len() {
+			t.Fatalf("user %s: stored %v, want %d points", wtr.User, gtr, wtr.Len())
+		}
+	}
+}
+
 func TestServeRejectsNonStreamingSpec(t *testing.T) {
 	_, err := newServer(serverConfig{Spec: "pipeline"})
 	if err == nil || !strings.Contains(err.Error(), "streaming-capable") {

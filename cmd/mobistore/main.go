@@ -131,8 +131,10 @@ func runInfo(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "bbox:    %s\n", s.Bounds())
 	}
 	fmt.Fprintf(stdout, "shards:  %d\n", man.Shards)
+	fmt.Fprintf(stdout, "gens:    %d\n", man.Generations)
 	for _, si := range man.Segments {
-		fmt.Fprintf(stdout, "  %s: %d blocks, %d users, %d points\n", si.File, si.Blocks, si.Users, si.Points)
+		fmt.Fprintf(stdout, "  %s: shard %d gen %d, %d blocks, %d users, %d points\n",
+			si.File, si.Shard, si.Gen, si.Blocks, si.Users, si.Points)
 	}
 	if *blocks {
 		return s.Scan(context.Background(), store.ScanOptions{}, func(user string, pts []trace.Point) error {

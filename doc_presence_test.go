@@ -22,6 +22,9 @@ func TestPackageDocsPresent(t *testing.T) {
 		{".", []string{"mechanism", "store-native", "determinism", "(seed, user)"}},
 		// The store: shard pinning and first-wins microsecond dedup.
 		{"internal/store", []string{"shard", "first-wins", "microsecond", "crc"}},
+		// The fault-injection harness: the crash model behind the
+		// crash-matrix tests.
+		{"internal/store/storetest", []string{"crash", "torn", "durable", "fault"}},
 		// The metrics: the accumulator determinism contract behind
 		// store-native evaluation.
 		{"internal/metrics", []string{"accumulator", "merge", "bit-identical", "evalstore"}},

@@ -79,6 +79,75 @@ func BenchmarkStoreScanCold(b *testing.B) {
 	reportPoints(b, d.TotalPoints())
 }
 
+// BenchmarkScanGenerations prices the reopen-for-append layout: the
+// same dataset is scanned from a store written in 8 append sessions
+// (gens=8) and from its compacted single-generation form (gens=1), so
+// the delta is exactly the cost of stitching generations per shard.
+func BenchmarkScanGenerations(b *testing.B) {
+	d := benchDataset(b)
+	traces := d.Traces()
+	const sessions = 8
+
+	multi := filepath.Join(b.TempDir(), "multi.mstore")
+	for sess := 0; sess < sessions; sess++ {
+		w, err := OpenAppend(multi, Options{Shards: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range traces {
+			lo := sess * tr.Len() / sessions
+			hi := (sess + 1) * tr.Len() / sessions
+			if lo == hi {
+				continue
+			}
+			if err := w.Append(tr.User, tr.Points[lo:hi]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ms, err := Open(multi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ms.Close()
+	if g := ms.Manifest().Generations; g != sessions {
+		b.Fatalf("multi store has %d generations, want %d", g, sessions)
+	}
+
+	compacted := filepath.Join(b.TempDir(), "compact.mstore")
+	cw, err := Create(compacted, Options{Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Compact(context.Background(), ms, cw); err != nil {
+		b.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	cs, err := Open(compacted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cs.Close()
+
+	ctx := context.Background()
+	for name, s := range map[string]*Store{"gens=8": ms, "gens=1": cs} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := s.ScanTraces(ctx, ScanOptions{Workers: 4}, func(*trace.Trace) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPoints(b, d.TotalPoints())
+		})
+	}
+}
+
 // BenchmarkStoreScanPruned scans with a bbox matching nothing: all the
 // work is footer pruning, no block is read.
 func BenchmarkStoreScanPruned(b *testing.B) {

@@ -1,0 +1,422 @@
+// Crash-matrix tests: drive an append session through the storetest
+// fault-injection filesystem, simulate a crash at every operation
+// boundary (and a torn write at every write boundary), and prove that
+// recovery always yields exactly the last committed state — never a
+// partial block, never a lost committed trace.
+//
+// These tests live in the external test package because storetest
+// itself imports store: they exercise only the exported API, which is
+// also what makes them an honest model of a crashing service process.
+package store_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mobipriv/internal/store"
+	"mobipriv/internal/store/storetest"
+	"mobipriv/internal/trace"
+)
+
+var crashBase = time.Date(2025, 9, 1, 8, 0, 0, 0, time.UTC)
+
+// crashPts builds n deterministic points whose coordinates are exact
+// multiples of 1e-7° and whose times are microsecond-aligned, so a
+// store round-trip is lossless and equality checks are exact.
+func crashPts(seed, n int, start time.Time) []trace.Point {
+	out := make([]trace.Point, n)
+	for i := range out {
+		out[i] = trace.P(float64((seed*7+i)%80), float64((seed*13+i)%170), start.Add(time.Duration(i)*time.Minute))
+	}
+	return out
+}
+
+// copyDir clones a store directory file by file, giving each matrix
+// iteration a pristine pre-session state.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// loadUsers opens the store and materializes every trace.
+func loadUsers(t *testing.T, dir string) map[string][]trace.Point {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("Open %s: %v", dir, err)
+	}
+	defer s.Close()
+	d, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatalf("Load %s: %v", dir, err)
+	}
+	out := make(map[string][]trace.Point, d.Len())
+	for _, tr := range d.Traces() {
+		out[tr.User] = tr.Points
+	}
+	return out
+}
+
+// samePointsExact asserts two loaded datasets are identical: same
+// users, and per user the same points, position and microsecond alike.
+func samePointsExact(t *testing.T, got, want map[string][]trace.Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d users, want %d", len(got), len(want))
+	}
+	for u, wp := range want {
+		gp, ok := got[u]
+		if !ok {
+			t.Fatalf("user %q missing", u)
+		}
+		if len(gp) != len(wp) {
+			t.Fatalf("user %q has %d points, want %d", u, len(gp), len(wp))
+		}
+		for i := range wp {
+			if !gp[i].Time.Equal(wp[i].Time) || gp[i].Lat != wp[i].Lat || gp[i].Lng != wp[i].Lng {
+				t.Fatalf("user %q point %d = %v, want %v", u, i, gp[i], wp[i])
+			}
+		}
+	}
+}
+
+// buildCrashBase writes the committed generation-0 store every matrix
+// iteration starts from: six users, two blocks each.
+func buildCrashBase(t *testing.T, dir string) {
+	t.Helper()
+	w, err := store.Create(dir, store.Options{Shards: 4, BlockPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 6; u++ {
+		user := fmt.Sprintf("u%02d", u)
+		if err := w.Append(user, crashPts(u, 6, crashBase)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runAppendSession is the recorded ingest session the matrix replays:
+// it extends two committed users (cross-generation fragments) and adds
+// two new ones. Deterministic, so every replay produces the same
+// operation sequence.
+func runAppendSession(dir string, fsi store.FS) error {
+	w, err := store.OpenAppend(dir, store.Options{BlockPoints: 4, FS: fsi})
+	if err != nil {
+		return err
+	}
+	later := crashBase.Add(24 * time.Hour)
+	for i, user := range []string{"u01", "u03", "x00", "x01"} {
+		if err := w.Append(user, crashPts(10+i, 6, later)...); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// verifyCrashed checks the post-crash contract: the store opens, its
+// contents are exactly the last committed state (the base generation,
+// or base plus the appended session — nothing in between), and a
+// subsequent OpenAppend recovers, accepts new data and commits it.
+func verifyCrashed(t *testing.T, dir string, baseWant, fullWant map[string][]trace.Point) {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	gens := s.Manifest().Generations
+	s.Close()
+	var want map[string][]trace.Point
+	switch gens {
+	case 1:
+		want = baseWant
+	case 2:
+		want = fullWant
+	default:
+		t.Fatalf("store has %d generations after crash, want 1 or 2", gens)
+	}
+	samePointsExact(t, loadUsers(t, dir), want)
+
+	// The crashed directory must be fully writable again: recovery runs
+	// once, the new session commits, and nothing of the old data moves.
+	w, err := store.OpenAppend(dir, store.Options{BlockPoints: 4})
+	if err != nil {
+		t.Fatalf("OpenAppend after crash: %v", err)
+	}
+	if rec := w.Recovery(); rec.Runs != 1 {
+		t.Fatalf("Recovery().Runs = %d, want 1", rec.Runs)
+	}
+	fresh := crashPts(99, 5, crashBase.Add(48*time.Hour))
+	if err := w.Append("z-after-crash", fresh...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want2 := make(map[string][]trace.Point, len(want)+1)
+	for u, p := range want {
+		want2[u] = p
+	}
+	want2["z-after-crash"] = fresh
+	samePointsExact(t, loadUsers(t, dir), want2)
+}
+
+// TestCrashMatrix simulates a whole-machine crash after every single
+// filesystem operation of an append session — including k == total,
+// the crash immediately after a successful commit, which proves the
+// commit protocol made everything it needs durable.
+func TestCrashMatrix(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.mstore")
+	buildCrashBase(t, base)
+	baseWant := loadUsers(t, base)
+
+	// Recording pass: the clean run whose op log defines the matrix.
+	rec := storetest.New()
+	full := filepath.Join(t.TempDir(), "full.mstore")
+	copyDir(t, base, full)
+	if err := runAppendSession(full, rec); err != nil {
+		t.Fatalf("recording session: %v", err)
+	}
+	fullWant := loadUsers(t, full)
+	ops := rec.Ops()
+	if len(ops) < 10 {
+		t.Fatalf("recorded only %d ops — the session is too small to be a matrix", len(ops))
+	}
+
+	for k := 0; k <= len(ops); k++ {
+		name := "after-commit"
+		if k < len(ops) {
+			name = fmt.Sprintf("op%02d-%s-%s", k, ops[k].Kind, ops[k].Name)
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "m.mstore")
+			copyDir(t, base, dir)
+			ffs := storetest.New().CrashAfter(k)
+			err := runAppendSession(dir, ffs)
+			if k < len(ops) {
+				if !errors.Is(err, storetest.ErrCrashed) {
+					t.Fatalf("session err = %v, want ErrCrashed", err)
+				}
+			} else if err != nil {
+				t.Fatalf("uncrashed session: %v", err)
+			}
+			if err := ffs.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			verifyCrashed(t, dir, baseWant, fullWant)
+		})
+	}
+}
+
+// TestCrashMatrixTornWrites re-runs the matrix with a torn write at
+// every write boundary: half the payload persists as a garbage tail.
+// No commit can have happened (every write precedes the directory
+// sync), so the store must read back as exactly the base generation —
+// the torn bytes are never delivered to a scan.
+func TestCrashMatrixTornWrites(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.mstore")
+	buildCrashBase(t, base)
+	baseWant := loadUsers(t, base)
+
+	rec := storetest.New()
+	full := filepath.Join(t.TempDir(), "full.mstore")
+	copyDir(t, base, full)
+	if err := runAppendSession(full, rec); err != nil {
+		t.Fatalf("recording session: %v", err)
+	}
+	fullWant := loadUsers(t, full)
+
+	for _, op := range rec.Ops() {
+		if op.Kind != storetest.OpWrite {
+			continue
+		}
+		t.Run(fmt.Sprintf("tear-op%02d-%s", op.N, op.Name), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "t.mstore")
+			copyDir(t, base, dir)
+			ffs := storetest.New().TearAt(op.N)
+			if err := runAppendSession(dir, ffs); !errors.Is(err, storetest.ErrCrashed) {
+				t.Fatalf("session err = %v, want ErrCrashed", err)
+			}
+			if err := ffs.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			s, err := store.Open(dir)
+			if err != nil {
+				t.Fatalf("Open after torn write: %v", err)
+			}
+			if g := s.Manifest().Generations; g != 1 {
+				t.Fatalf("torn session committed %d generations, want the base 1", g)
+			}
+			s.Close()
+			samePointsExact(t, loadUsers(t, dir), baseWant)
+			verifyCrashed(t, dir, baseWant, fullWant)
+		})
+	}
+}
+
+// TestCrashMatrixFreshCreate crashes the very first session of a brand
+// new store at every operation boundary: there is nothing committed to
+// preserve, so the contract is simply that OpenAppend on the debris
+// recovers into a working empty store and the retried session commits.
+func TestCrashMatrixFreshCreate(t *testing.T) {
+	session := func(dir string, fsi store.FS) error {
+		w, err := store.OpenAppend(dir, store.Options{Shards: 3, BlockPoints: 4, FS: fsi})
+		if err != nil {
+			return err
+		}
+		for u := 0; u < 4; u++ {
+			if err := w.Append(fmt.Sprintf("f%02d", u), crashPts(u, 6, crashBase)...); err != nil {
+				return err
+			}
+		}
+		return w.Close()
+	}
+
+	rec := storetest.New()
+	full := filepath.Join(t.TempDir(), "full.mstore")
+	if err := session(full, rec); err != nil {
+		t.Fatalf("recording session: %v", err)
+	}
+	fullWant := loadUsers(t, full)
+
+	for k := 0; k < len(rec.Ops()); k++ {
+		op := rec.Ops()[k]
+		t.Run(fmt.Sprintf("op%02d-%s-%s", k, op.Kind, op.Name), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "f.mstore")
+			ffs := storetest.New().CrashAfter(k)
+			if err := session(dir, ffs); !errors.Is(err, storetest.ErrCrashed) {
+				t.Fatalf("session err = %v, want ErrCrashed", err)
+			}
+			if err := ffs.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			// Nothing was committed, so Open must fail — there is no
+			// manifest — but a retried session must succeed in full.
+			if _, err := store.Open(dir); err == nil {
+				t.Fatal("Open succeeded on an uncommitted store")
+			}
+			if err := session(dir, storetest.New()); err != nil {
+				t.Fatalf("retried session: %v", err)
+			}
+			samePointsExact(t, loadUsers(t, dir), fullWant)
+		})
+	}
+}
+
+// TestRecoveryCrash crashes the recovery pass itself: recovery's own
+// removals are interrupted, and the contract is that recovery is
+// idempotent — the next OpenAppend finishes the job.
+func TestRecoveryCrash(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.mstore")
+	buildCrashBase(t, base)
+	baseWant := loadUsers(t, base)
+
+	// Leave uncommitted debris: crash an append session near its end,
+	// but keep the unsynced segment files on disk (no ffs.Crash), as if
+	// the process died but the page cache survived.
+	rec := storetest.New()
+	probe := filepath.Join(t.TempDir(), "probe.mstore")
+	copyDir(t, base, probe)
+	if err := runAppendSession(probe, rec); err != nil {
+		t.Fatal(err)
+	}
+	total := rec.OpCount()
+
+	dir := filepath.Join(t.TempDir(), "r.mstore")
+	copyDir(t, base, dir)
+	if err := runAppendSession(dir, storetest.New().CrashAfter(total-2)); !errors.Is(err, storetest.ErrCrashed) {
+		t.Fatal("expected crashed session")
+	}
+
+	// First recovery attempt crashes on its very first operation.
+	_, err := store.OpenAppend(dir, store.Options{FS: storetest.New().CrashAfter(0)})
+	if !errors.Is(err, storetest.ErrCrashed) {
+		t.Fatalf("OpenAppend with crashing recovery: err = %v, want ErrCrashed", err)
+	}
+
+	// Second attempt must complete recovery and leave a writable store.
+	w, err := store.OpenAppend(dir, store.Options{BlockPoints: 4})
+	if err != nil {
+		t.Fatalf("OpenAppend after crashed recovery: %v", err)
+	}
+	recov := w.Recovery()
+	if recov.Runs != 1 || recov.TruncatedTails == 0 {
+		t.Fatalf("Recovery() = %+v, want 1 run with tails cleaned", recov)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	samePointsExact(t, loadUsers(t, dir), baseWant)
+}
+
+// TestCommittedTailTruncated pins the committed-file tail path: bytes
+// appended to a committed segment behind the store's back (a crashed
+// v1-era writer, a filesystem bug) are ignored by readers and cut back
+// by recovery, because the manifest records the committed size.
+func TestCommittedTailTruncated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tail.mstore")
+	buildCrashBase(t, dir)
+	want := loadUsers(t, dir)
+
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := s.Manifest().Segments[0]
+	s.Close()
+	full := filepath.Join(dir, seg.File)
+	f, err := os.OpenFile(full, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage tail that was never committed")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Readers ignore the tail outright.
+	samePointsExact(t, loadUsers(t, dir), want)
+
+	// Recovery truncates it and counts it.
+	w, err := store.OpenAppend(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := w.Recovery(); rec.TruncatedTails != 1 {
+		t.Fatalf("Recovery().TruncatedTails = %d, want 1", rec.TruncatedTails)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != seg.Size {
+		t.Fatalf("segment is %d bytes after recovery, committed size %d", st.Size(), seg.Size)
+	}
+	samePointsExact(t, loadUsers(t, dir), want)
+}

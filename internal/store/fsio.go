@@ -1,0 +1,92 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// File is the writable-file surface the Writer drives: sequential
+// writes, an explicit durability barrier, and close. *os.File satisfies
+// it; storetest's fault-injection files wrap it to fail, tear or lose
+// writes on a simulated crash.
+type File interface {
+	io.Writer
+
+	// Sync flushes the file's written bytes to stable storage. The
+	// Writer calls it before a segment is referenced by a manifest
+	// commit, so a crash after commit can never lose committed bytes.
+	Sync() error
+
+	// Close releases the file. Close does not imply durability; only
+	// Sync does.
+	Close() error
+}
+
+// FS is the mutating-filesystem surface the Writer performs its
+// durability-relevant operations through: creating and writing segment
+// and manifest files, the atomic manifest rename, and the recovery
+// pass's removals and truncations. Read paths (Open, Scan) use the real
+// filesystem directly — the crash model only needs writes to be
+// interceptable.
+//
+// The default implementation is the real OS filesystem; tests inject
+// internal/store/storetest.FaultFS via Options.FS to simulate crashes
+// at every operation boundary.
+type FS interface {
+	// Create creates (or truncates) the named file for writing.
+	Create(name string) (File, error)
+
+	// Rename atomically replaces newname with oldname. Durability of
+	// the rename is only guaranteed after SyncDir on the parent
+	// directory — the commit point of a manifest swap.
+	Rename(oldname, newname string) error
+
+	// Remove deletes the named file.
+	Remove(name string) error
+
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+
+	// SyncDir flushes the directory entries of dir — the barrier that
+	// makes a preceding Rename (and file creations) durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+
+// SyncDir fsyncs the directory best-effort: some filesystems (and some
+// platforms) reject fsync on a directory handle, and the portable
+// behavior there is the pre-fsync one — the rename is still atomic,
+// just not yet guaranteed durable.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// fs returns the configured filesystem, defaulting to the real one.
+func (o Options) fs() FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return osFS{}
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mobipriv/internal/trace"
+)
+
+// compactLoad compacts s into a fresh single-generation store and
+// returns that store's full contents.
+func compactLoad(t *testing.T, s *Store) *trace.Dataset {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "compact.mstore")
+	w, err := Create(dir, Options{Shards: 4, BlockPoints: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compact(context.Background(), s, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	if g := cs.Manifest().Generations; g != 1 {
+		t.Fatalf("compacted store has %d generations, want 1", g)
+	}
+	d, err := cs.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestGenerationEquivalence is the property behind reopen-for-append:
+// however a dataset is cut across K OpenAppend sessions, the resulting
+// multi-generation store is observationally identical to the store
+// written in one session — Load, ScanTraces at several worker counts,
+// and Compact all produce the same traces. 20 seeds, random session
+// counts and per-user cut points.
+func TestGenerationEquivalence(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(int64(seed)))
+			d := exactDataset(t, 8, 30)
+			single := buildStore(t, d, Options{Shards: 4, BlockPoints: 8})
+
+			// Cut every trace into K contiguous chunks (some empty) and
+			// write chunk j in append session j.
+			K := 2 + rnd.Intn(4)
+			cuts := make(map[string][]int, d.Len())
+			for _, tr := range d.Traces() {
+				b := make([]int, K+1)
+				b[K] = tr.Len()
+				for j := 1; j < K; j++ {
+					b[j] = rnd.Intn(tr.Len() + 1)
+				}
+				sort.Ints(b)
+				cuts[tr.User] = b
+			}
+			dir := filepath.Join(t.TempDir(), "gen.mstore")
+			committed := 0
+			for sess := 0; sess < K; sess++ {
+				w, err := OpenAppend(dir, Options{Shards: 4, BlockPoints: 8})
+				if err != nil {
+					t.Fatalf("session %d: %v", sess, err)
+				}
+				if g := w.Recovery().Generation; g != int64(committed) {
+					t.Errorf("session %d opened at generation %d, want %d", sess, g, committed)
+				}
+				wrote := false
+				for _, tr := range d.Traces() {
+					b := cuts[tr.User]
+					chunk := tr.Points[b[sess]:b[sess+1]]
+					if len(chunk) == 0 {
+						continue
+					}
+					if err := w.Append(tr.User, chunk...); err != nil {
+						t.Fatalf("session %d user %q: %v", sess, tr.User, err)
+					}
+					wrote = true
+				}
+				if err := w.Close(); err != nil {
+					t.Fatalf("session %d close: %v", sess, err)
+				}
+				if wrote {
+					committed++
+				}
+			}
+
+			gs, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer gs.Close()
+			// Sessions that wrote nothing reuse their generation number:
+			// the committed count, not K, is what the manifest records.
+			if g := gs.Manifest().Generations; g != committed {
+				t.Errorf("store has %d generations, %d sessions committed data", g, committed)
+			}
+
+			got, err := gs.Load(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDataset(t, d, got)
+
+			for _, workers := range []int{1, 4, 16} {
+				var mu sync.Mutex
+				var traces []*trace.Trace
+				err := gs.ScanTraces(context.Background(), ScanOptions{Workers: workers}, func(tr *trace.Trace) error {
+					mu.Lock()
+					traces = append(traces, tr)
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("ScanTraces workers=%d: %v", workers, err)
+				}
+				ds, err := trace.NewDataset(traces)
+				if err != nil {
+					t.Fatalf("ScanTraces workers=%d: %v", workers, err)
+				}
+				sameDataset(t, d, ds)
+			}
+
+			sameDataset(t, compactLoad(t, single), compactLoad(t, gs))
+		})
+	}
+}
+
+// TestOpenAppendRejectsSealedUsers pins the whole-trace promise across
+// generations: Add refuses a user whose points already live in a
+// committed generation, while Append extends them.
+func TestOpenAppendRejectsSealedUsers(t *testing.T) {
+	d := exactDataset(t, 3, 8)
+	dir := filepath.Join(t.TempDir(), "sealed.mstore")
+	if err := WriteDataset(dir, d, Options{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenAppend(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	user := d.Traces()[0].User
+	if err := w.Add(d.Traces()[0]); err == nil {
+		t.Fatalf("Add(%q) over a committed generation succeeded, want ErrDuplicateUser", user)
+	}
+	last := d.ByUser(user).End()
+	if err := w.Append(user, trace.P(1, 1, last.Time.Add(time.Minute))); err != nil {
+		t.Fatalf("Append(%q) across generations: %v", user, err)
+	}
+}

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+)
+
+// parseManifest decodes and validates a manifest document. It is the
+// single entry point for untrusted manifest bytes (Open, OpenAppend,
+// FuzzManifestDecode): whatever it accepts satisfies every structural
+// invariant the readers rely on, and it never panics.
+//
+// Both format versions are accepted. A version-1 manifest (one unnamed
+// generation, exactly one segment per shard, no committed sizes) is
+// normalized into the version-2 shape: segment i becomes shard i of
+// generation 0, Generations becomes 1, and Size stays 0 — "committed
+// size unknown, trust the file size" — until OpenAppend backfills it.
+//
+// Version-2 invariants enforced here:
+//
+//   - every segment names a shard in [0, Shards) and a generation in
+//     [0, Generations), and its file name is exactly the canonical name
+//     for that (shard, generation) — no path components, no aliases;
+//   - (shard, generation) pairs are unique;
+//   - every generation in [0, Generations) owns at least one segment —
+//     a manifest with a generation gap is corrupt, because the writer
+//     only advances Generations when it commits segments;
+//   - every segment records a positive committed Size, block/user/point
+//     counts are positive (empty segments are never committed), and the
+//     dataset stats are coherent (BBoxE7 is absent or 4 values).
+func parseManifest(data []byte) (Manifest, error) {
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return Manifest{}, corruptf("manifest: %v", err)
+	}
+	if man.Format != "mstore" {
+		return Manifest{}, corruptf("manifest format %q (want mstore)", man.Format)
+	}
+	if man.Version != 1 && man.Version != Version {
+		return Manifest{}, fmt.Errorf("store: unsupported version %d (have %d)", man.Version, Version)
+	}
+	if man.CoordScale != CoordScale || man.TimeUnit != "us" {
+		return Manifest{}, fmt.Errorf("store: unsupported encoding (coord_scale=%g, time_unit=%q)", man.CoordScale, man.TimeUnit)
+	}
+	if man.Shards <= 0 {
+		return Manifest{}, corruptf("manifest shards %d", man.Shards)
+	}
+	if man.Users < 0 || man.Points < 0 {
+		return Manifest{}, corruptf("manifest counts users=%d points=%d", man.Users, man.Points)
+	}
+	if n := len(man.BBoxE7); n != 0 && n != 4 {
+		return Manifest{}, corruptf("manifest bbox has %d values (want 0 or 4)", n)
+	}
+	// nil-normalize empty slices so parse(encode(parse(x))) is a fixed
+	// point whatever JSON spelling ([] vs absent) the input used.
+	if len(man.BBoxE7) == 0 {
+		man.BBoxE7 = nil
+	}
+	if len(man.Segments) == 0 {
+		man.Segments = nil
+	}
+
+	if man.Version == 1 {
+		if len(man.Segments) != man.Shards {
+			return Manifest{}, corruptf("manifest lists %d segments for %d shards", len(man.Segments), man.Shards)
+		}
+		man.Generations = 1
+		for i := range man.Segments {
+			si := &man.Segments[i]
+			if si.File != segName(i) {
+				return Manifest{}, corruptf("v1 segment %d named %q (want %q)", i, si.File, segName(i))
+			}
+			if si.Blocks < 0 || si.Users < 0 || si.Points < 0 {
+				return Manifest{}, corruptf("segment %s counts blocks=%d users=%d points=%d", si.File, si.Blocks, si.Users, si.Points)
+			}
+			si.Shard, si.Gen, si.Size = i, 0, 0
+		}
+		return man, nil
+	}
+
+	if man.Generations < 0 {
+		return Manifest{}, corruptf("manifest generations %d", man.Generations)
+	}
+	if man.Generations == 0 && len(man.Segments) > 0 {
+		return Manifest{}, corruptf("manifest lists %d segments but zero generations", len(man.Segments))
+	}
+	type slot struct{ shard, gen int }
+	seen := make(map[slot]bool, len(man.Segments))
+	genHasSegs := make([]bool, man.Generations)
+	for i := range man.Segments {
+		si := &man.Segments[i]
+		if si.Shard < 0 || si.Shard >= man.Shards {
+			return Manifest{}, corruptf("segment %s shard %d out of range [0,%d)", si.File, si.Shard, man.Shards)
+		}
+		if si.Gen < 0 || si.Gen >= man.Generations {
+			return Manifest{}, corruptf("segment %s generation %d out of range [0,%d)", si.File, si.Gen, man.Generations)
+		}
+		// The canonical name pins the file inside the store directory: a
+		// manifest can never point a reader at a foreign path. Legacy
+		// gen-0 names survive an OpenAppend upgrade of a v1 store.
+		if si.File != partName(si.Shard, si.Gen) && !(si.Gen == 0 && si.File == segName(si.Shard)) {
+			return Manifest{}, corruptf("segment for shard %d gen %d named %q (want %q)",
+				si.Shard, si.Gen, si.File, partName(si.Shard, si.Gen))
+		}
+		if seen[slot{si.Shard, si.Gen}] {
+			return Manifest{}, corruptf("duplicate segment for shard %d gen %d", si.Shard, si.Gen)
+		}
+		seen[slot{si.Shard, si.Gen}] = true
+		genHasSegs[si.Gen] = true
+		if si.Size <= int64(len(magicHeader))+16 {
+			return Manifest{}, corruptf("segment %s committed size %d is smaller than the envelope", si.File, si.Size)
+		}
+		if si.Blocks <= 0 || si.Users <= 0 || si.Points <= 0 {
+			return Manifest{}, corruptf("segment %s counts blocks=%d users=%d points=%d (empty segments are never committed)",
+				si.File, si.Blocks, si.Users, si.Points)
+		}
+	}
+	for g, ok := range genHasSegs {
+		if !ok {
+			return Manifest{}, corruptf("generation %d has no segments (generation gap)", g)
+		}
+	}
+	return man, nil
+}
+
+// encodeManifest renders a manifest as the canonical on-disk JSON.
+func encodeManifest(man Manifest) ([]byte, error) {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encode manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// isSegmentFileName reports whether name looks like a segment file of
+// either naming generation — the set of files the recovery pass may
+// remove when the manifest does not claim them.
+func isSegmentFileName(name string) bool {
+	if name != filepath.Base(name) {
+		return false
+	}
+	newStyle, _ := filepath.Match("shard-*.seg", name)
+	oldStyle, _ := filepath.Match("seg-*.blk", name)
+	return newStyle || oldStyle
+}

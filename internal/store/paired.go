@@ -61,14 +61,14 @@ type PairScanStats struct {
 // absent; a user filtered to empty on both sides is not delivered at
 // all.
 //
-// The scan fans the original store's segments across internal/par
-// workers; each goroutine walks its segment's users in first-block
-// file order, gathering the anonymized side of each user through the
-// anonymized store's footer index. A second pass sweeps the users that
-// exist only in the anonymized store. fn is therefore called
-// concurrently and must be safe for that. Memory stays bounded by the
-// goroutine count: at any moment a goroutine holds one user's
-// assembled traces, never a dataset.
+// The scan fans the original store's shards across internal/par
+// workers; each goroutine walks its shard's users in first-block order
+// (generations oldest first), gathering the anonymized side of each
+// user through the anonymized store's footer index. A second pass
+// sweeps the users that exist only in the anonymized store. fn is
+// therefore called concurrently and must be safe for that. Memory
+// stays bounded by the goroutine count: at any moment a goroutine
+// holds one user's assembled traces, never a dataset.
 func ScanTracesPaired(ctx context.Context, orig, anon *Store, opts ScanOptions, fn PairScanFunc) (*PairScanStats, error) {
 	if orig.closed.Load() || anon.closed.Load() {
 		return nil, ErrClosed
@@ -85,15 +85,15 @@ func ScanTracesPaired(ctx context.Context, orig, anon *Store, opts ScanOptions, 
 	var inFlight, assembling, assemblingPeak int64
 
 	// Index the anonymized side by user up front (footers only — no
-	// block is read): anonBlocks[seg][user] lists the user's blocks in
-	// that segment, and shardOf routes a user straight to its segment
-	// whatever the shard count. anonOrder keeps each segment's
-	// first-block file order for the pass-2 sweep.
+	// block is read): anonBlocks[shard][user] lists the user's blocks
+	// across that shard's generations, and shardOf routes a user
+	// straight to its shard whatever the shard count. anonOrder keeps
+	// each shard's first-block order for the pass-2 sweep.
 	anonShards := anon.man.Shards
-	anonOrder := make([][]string, len(anon.segs))
-	anonBlocks := make([]map[string][]int, len(anon.segs))
-	for i, seg := range anon.segs {
-		anonOrder[i], anonBlocks[i] = seg.userBlocks()
+	anonOrder := make([][]string, anonShards)
+	anonBlocks := make([]map[string][]partBlock, anonShards)
+	for sh := range anonOrder {
+		anonOrder[sh], anonBlocks[sh] = anon.shardUserBlocks(sh)
 	}
 	// Users present in the original store's footers: the anon-only
 	// sweep skips these, because the first pass already considered them
@@ -122,7 +122,7 @@ func ScanTracesPaired(ctx context.Context, orig, anon *Store, opts ScanOptions, 
 		if len(idxs) == 0 {
 			return nil, nil
 		}
-		pts, err := anon.gatherUser(si, idxs, users, opts, &st.Anon, &assembling, &assemblingPeak)
+		pts, err := anon.gatherUser(idxs, users, opts, &st.Anon, &assembling, &assemblingPeak)
 		if err != nil {
 			return nil, err
 		}
@@ -138,8 +138,8 @@ func ScanTracesPaired(ctx context.Context, orig, anon *Store, opts ScanOptions, 
 
 	// Pass 1: walk the original store; every user found here has both
 	// sides resolved, one-sided or not.
-	err := par.Map(ctx, len(orig.segs), func(i int) error {
-		order, blocks := orig.segs[i].userBlocks()
+	err := par.Map(ctx, len(orig.shards), func(sh int) error {
+		order, blocks := orig.shardUserBlocks(sh)
 		for _, user := range order {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -150,7 +150,7 @@ func ScanTracesPaired(ctx context.Context, orig, anon *Store, opts ScanOptions, 
 				// traces from both stores at once.
 				par.PeakAdd(&inFlight, &st.PeakBufferedUsers)
 				defer atomic.AddInt64(&inFlight, -1)
-				pts, err := orig.gatherUser(i, blocks[user], users, opts, &st.Orig, &assembling, &assemblingPeak)
+				pts, err := orig.gatherUser(blocks[user], users, opts, &st.Orig, &assembling, &assemblingPeak)
 				if err != nil {
 					return err
 				}
@@ -191,8 +191,8 @@ func ScanTracesPaired(ctx context.Context, orig, anon *Store, opts ScanOptions, 
 	}
 
 	// Pass 2: sweep the users that exist only in the anonymized store.
-	err = par.Map(ctx, len(anon.segs), func(i int) error {
-		for _, user := range anonOrder[i] {
+	err = par.Map(ctx, len(anonOrder), func(sh int) error {
+		for _, user := range anonOrder[sh] {
 			if err := ctx.Err(); err != nil {
 				return err
 			}

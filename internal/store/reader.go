@@ -3,7 +3,6 @@ package store
 import (
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -25,10 +24,16 @@ import (
 // pread, so a Store is safe for concurrent scans and never holds more
 // than the cached blocks in memory.
 type Store struct {
-	dir   string
-	man   Manifest
-	segs  []*segReader
-	cache *blockCache
+	dir  string
+	man  Manifest
+	segs []*segReader
+	// shards indexes segs by hash shard: shards[sh] lists the indices
+	// of that shard's segments across all generations, oldest first.
+	// Every scan walks one shard per goroutine in that order, so a
+	// shard's generations are always read as one log and first-wins
+	// dedup stays independent of the worker count.
+	shards [][]int
+	cache  *blockCache
 
 	closed atomic.Bool
 
@@ -42,6 +47,7 @@ type Store struct {
 // segReader is one opened segment: its file handle plus decoded footer.
 type segReader struct {
 	file    string
+	gen     int
 	f       *os.File
 	entries []blockEntry
 }
@@ -62,41 +68,45 @@ func OpenWith(path string, opts OpenOptions) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
-	var man Manifest
-	if err := json.Unmarshal(data, &man); err != nil {
-		return nil, corruptf("manifest: %v", err)
-	}
-	if man.Format != "mstore" {
-		return nil, corruptf("manifest format %q (want mstore)", man.Format)
-	}
-	if man.Version != Version {
-		return nil, fmt.Errorf("store: unsupported version %d (have %d)", man.Version, Version)
-	}
-	if man.CoordScale != CoordScale || man.TimeUnit != "us" {
-		return nil, fmt.Errorf("store: unsupported encoding (coord_scale=%g, time_unit=%q)", man.CoordScale, man.TimeUnit)
-	}
-	if len(man.Segments) != man.Shards {
-		return nil, corruptf("manifest lists %d segments for %d shards", len(man.Segments), man.Shards)
+	man, err := parseManifest(data)
+	if err != nil {
+		return nil, err
 	}
 	cacheCap := opts.CacheBlocks
 	if cacheCap == 0 {
 		cacheCap = 256
 	}
-	s := &Store{dir: path, man: man, cache: newBlockCache(cacheCap)}
-	for _, si := range man.Segments {
-		seg, err := openSegment(filepath.Join(path, si.File))
+	s := &Store{dir: path, man: man, shards: make([][]int, man.Shards), cache: newBlockCache(cacheCap)}
+	// Group the segments by shard, generations oldest first, so every
+	// scan reads a shard's generations as one log. parseManifest
+	// guarantees the (shard, gen) pairs are in range and unique; sorting
+	// here frees readers from assuming any manifest ordering.
+	order := make([]int, len(man.Segments))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return man.Segments[order[a]].Gen < man.Segments[order[b]].Gen })
+	for _, mi := range order {
+		si := man.Segments[mi]
+		seg, err := openSegment(filepath.Join(path, si.File), si.Size)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("segment %s: %w", si.File, err)
 		}
+		seg.gen = si.Gen
+		s.shards[si.Shard] = append(s.shards[si.Shard], len(s.segs))
 		s.segs = append(s.segs, seg)
 	}
 	return s, nil
 }
 
 // openSegment opens one segment file, verifying magics and loading the
-// footer.
-func openSegment(path string) (*segReader, error) {
+// footer. committedSize, when positive, is the byte size the manifest
+// committed: bytes past it are a torn tail from a crashed later session
+// and are never read — the logical end of the segment is the committed
+// size, wherever the physical file ends. 0 (a version-1 manifest,
+// which recorded no sizes) trusts the file size.
+func openSegment(path string, committedSize int64) (*segReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -107,6 +117,13 @@ func openSegment(path string) (*segReader, error) {
 		return nil, err
 	}
 	size := st.Size()
+	if committedSize > 0 {
+		if size < committedSize {
+			f.Close()
+			return nil, corruptf("segment is %d bytes, manifest committed %d", size, committedSize)
+		}
+		size = committedSize
+	}
 	minSize := int64(len(magicHeader)) + 16
 	if size < minSize {
 		f.Close()
@@ -241,7 +258,7 @@ type ScanStats struct {
 
 	// PeakBufferedUsers is the high-water mark of multi-block users
 	// being assembled at once — ScanTraces only, at most one per
-	// segment goroutine; a plain Scan (and any single-block user)
+	// shard goroutine; a plain Scan (and any single-block user)
 	// buffers nothing and leaves it 0.
 	PeakBufferedUsers int64
 }
@@ -252,11 +269,12 @@ type ScanStats struct {
 // cache: treat it as read-only and do not retain it.
 type ScanFunc func(user string, pts []trace.Point) error
 
-// Scan streams matching block-runs to fn, fanning the store's segments
+// Scan streams matching block-runs to fn, fanning the store's shards
 // across internal/par workers. fn is called concurrently (one goroutine
-// per segment at most) and must be safe for that; within a segment,
-// blocks arrive in file order. Block pruning uses only footer stats;
-// the per-point filters make the result exact.
+// per shard at most) and must be safe for that; within a shard, blocks
+// arrive generation by generation (oldest first), each in file order.
+// Block pruning uses only footer stats; the per-point filters make the
+// result exact.
 func (s *Store) Scan(ctx context.Context, opts ScanOptions, fn ScanFunc) error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -269,30 +287,32 @@ func (s *Store) Scan(ctx context.Context, opts ScanOptions, fn ScanFunc) error {
 	if stats == nil {
 		stats = &ScanStats{}
 	}
-	err := par.Map(ctx, len(s.segs), func(i int) error {
-		seg := s.segs[i]
-		for bi := range seg.entries {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			e := &seg.entries[bi]
-			atomic.AddInt64(&stats.BlocksTotal, 1)
-			if s.pruned(e, users, opts) {
-				atomic.AddInt64(&stats.BlocksPruned, 1)
-				s.nPruned.Add(1)
-				continue
-			}
-			user, pts, err := s.block(i, bi, stats, opts.NoCache)
-			if err != nil {
-				return fmt.Errorf("segment %s block %d: %w", seg.file, bi, err)
-			}
-			pts = filterPoints(pts, opts)
-			if len(pts) == 0 {
-				continue
-			}
-			atomic.AddInt64(&stats.Points, int64(len(pts)))
-			if err := fn(user, pts); err != nil {
-				return err
+	err := par.Map(ctx, len(s.shards), func(sh int) error {
+		for _, si := range s.shards[sh] {
+			seg := s.segs[si]
+			for bi := range seg.entries {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				e := &seg.entries[bi]
+				atomic.AddInt64(&stats.BlocksTotal, 1)
+				if s.pruned(e, users, opts) {
+					atomic.AddInt64(&stats.BlocksPruned, 1)
+					s.nPruned.Add(1)
+					continue
+				}
+				user, pts, err := s.block(si, bi, stats, opts.NoCache)
+				if err != nil {
+					return fmt.Errorf("segment %s block %d: %w", seg.file, bi, err)
+				}
+				pts = filterPoints(pts, opts)
+				if len(pts) == 0 {
+					continue
+				}
+				atomic.AddInt64(&stats.Points, int64(len(pts)))
+				if err := fn(user, pts); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

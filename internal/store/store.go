@@ -8,15 +8,38 @@
 // A store is a directory:
 //
 //	data.mstore/
-//	  manifest.json   format version, shard list, dataset-level stats
-//	  seg-0000.blk    segment (shard) files
-//	  seg-0001.blk
+//	  manifest.json        format version, segment list, dataset stats
+//	  shard-0000.g0.seg    shard 0, generation 0
+//	  shard-0001.g0.seg    shard 1, generation 0
+//	  shard-0000.g1.seg    shard 0, generation 1 (a later append session)
 //	  ...
 //
-// Traces are sharded by user: a user's blocks always live in the
-// segment numbered splitmix64(fnv64a(user)) mod shards (reusing
-// internal/rng's finalizer), so per-user lookups touch one file and
-// parallel scans partition naturally by segment.
+// Traces are sharded by user: a user's blocks always live in the shard
+// numbered splitmix64(fnv64a(user)) mod shards (reusing internal/rng's
+// finalizer), so per-user lookups touch one shard's files and parallel
+// scans partition naturally by shard.
+//
+// A shard may span several generations: every append session opened
+// with OpenAppend writes a fresh generation of segment files beside the
+// committed ones, and readers scan all generations of a shard, oldest
+// first, as one log. Empty segments are never committed, so a shard (or
+// a whole generation's shard) with no data simply has no file.
+//
+// # Durability
+//
+// A store becomes readable — and a new generation becomes part of it —
+// only through an atomic manifest commit: segment files are written and
+// fsynced first, then the new manifest is written to a temp file,
+// fsynced, renamed over manifest.json, and the directory is fsynced.
+// The manifest is therefore always either the old one or the new one.
+//
+// OpenAppend runs a recovery pass before writing: files a crashed
+// session left behind (segment files the manifest does not list, a
+// stale manifest temp file) are removed, and any bytes past a committed
+// segment's recorded size are truncated. Readers independently ignore
+// bytes past the committed size, so a torn tail is never read, let
+// alone decoded. RecoveryStats (and the service's store_recovery_runs /
+// store_truncated_tails counters) make the pass observable.
 //
 // # Segment format
 //
@@ -43,13 +66,14 @@
 // Three invariants hold for every store the Writer accepts, and every
 // reader relies on them:
 //
-//   - Shard pinning: a user's blocks all live in the single segment
-//     selected by splitmix64(fnv64a(user)) mod shards, so per-user
-//     reads touch one file and trace assembly (ScanTraces, Load) never
-//     has to coordinate across segments.
+//   - Shard pinning: a user's blocks all live in the single shard
+//     selected by splitmix64(fnv64a(user)) mod shards — in every
+//     generation — so per-user reads touch one shard's files and trace
+//     assembly (ScanTraces, Load) never coordinates across shards.
 //   - First-wins microsecond dedup: observations that collapse onto the
-//     same on-disk microsecond keep only the first, both within a block
-//     (Writer) and when fragments are merged (Load, ScanTraces). Any
+//     same on-disk microsecond keep only the first, within a block
+//     (Writer) and when fragments are merged (Load, ScanTraces) —
+//     across blocks and across generations alike, oldest first. Any
 //     store the Writer accepted therefore always loads into valid
 //     strictly-increasing traces.
 //   - Sorted blocks: each block's points are time-sorted at encode
@@ -89,7 +113,10 @@ import (
 // bump Version.
 const (
 	// Version is the on-disk format version recorded in the manifest.
-	Version = 1
+	// Version 2 added generation-numbered segments, per-segment
+	// committed sizes and the atomic manifest commit; version-1 stores
+	// are still read (and upgraded in place by OpenAppend).
+	Version = 2
 
 	// CoordScale is the fixed-point coordinate scale: degrees are stored
 	// as round(deg * CoordScale) (1e-7° ≈ 1.1 cm at the equator).
@@ -99,8 +126,10 @@ const (
 	magicHeader  = "MSTORE1\n"
 	magicTrailer = "MSTEND1\n"
 
-	// manifestName is the manifest file inside the store directory.
-	manifestName = "manifest.json"
+	// manifestName is the manifest file inside the store directory;
+	// manifestTmpName is the staging file a commit renames over it.
+	manifestName    = "manifest.json"
+	manifestTmpName = manifestName + ".tmp"
 )
 
 // Errors returned by the store. Wrapped with context; match with
@@ -133,9 +162,17 @@ type Options struct {
 
 	// Overwrite lets Create replace an existing store at the target
 	// path (only the store's own files — manifest and segments — are
-	// removed). Without it, Create fails with ErrExists, which is the
-	// right default for service sinks that must never clobber data.
+	// removed). Without it, Create fails with ErrExists. Service sinks
+	// that must never clobber data use OpenAppend instead, which
+	// extends an existing store with a new generation.
 	Overwrite bool
+
+	// FS overrides the filesystem the Writer performs its mutating
+	// operations through (segment and manifest writes, the atomic
+	// manifest rename, recovery removals/truncations). Nil means the
+	// real OS filesystem; tests inject storetest.NewFaultFS to simulate
+	// crashes and torn writes at every operation boundary.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +194,13 @@ type Manifest struct {
 	Shards     int           `json:"shards"`
 	Segments   []SegmentInfo `json:"segments"`
 
+	// Generations counts the committed append sessions: every
+	// generation in [0, Generations) owns at least one segment. A
+	// session that commits no data does not advance the count (its
+	// generation number is reused), so there are never gaps. 0 for an
+	// empty store; normalized to 1 when reading a version-1 manifest.
+	Generations int `json:"generations,omitempty"`
+
 	// Dataset-level stats, for info tooling and cheap whole-store
 	// pruning.
 	Users     int   `json:"users"`
@@ -170,10 +214,19 @@ type Manifest struct {
 
 // SegmentInfo summarizes one segment file in the manifest.
 type SegmentInfo struct {
-	File   string `json:"file"`
-	Blocks int    `json:"blocks"`
-	Users  int    `json:"users"`
-	Points int    `json:"points"`
+	File  string `json:"file"`
+	Shard int    `json:"shard"` // hash shard this segment belongs to
+	Gen   int    `json:"gen"`   // generation (append session) that wrote it
+
+	// Size is the committed byte size of the file — header through
+	// trailer. Bytes past it are a torn tail from a later crashed
+	// session: readers never read them, OpenAppend truncates them.
+	// 0 (a version-1 manifest) means "unknown, trust the file size".
+	Size int64 `json:"size,omitempty"`
+
+	Blocks int `json:"blocks"`
+	Users  int `json:"users"`
+	Points int `json:"points"`
 }
 
 // shardOf routes a user to a segment: FNV-1a of the user identifier
@@ -203,5 +256,9 @@ func fromMicros(us int64) time.Time { return time.UnixMicro(us).UTC() }
 // blockCRC is the checksum over a block's encoded bytes.
 func blockCRC(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
 
-// segName names the i-th segment file.
+// segName names the i-th segment file of a version-1 store (one
+// generation, one segment per shard). Kept for reading old stores.
 func segName(i int) string { return fmt.Sprintf("seg-%04d.blk", i) }
+
+// partName names the segment file of one (shard, generation) pair.
+func partName(shard, gen int) string { return fmt.Sprintf("shard-%04d.g%d.seg", shard, gen) }

@@ -382,10 +382,27 @@ func TestCreateExisting(t *testing.T) {
 	if s.Manifest().Users != 3 || s.Manifest().Shards != 2 {
 		t.Fatalf("overwritten manifest = %+v", s.Manifest())
 	}
-	// The shard-count change must not leave stale seg files behind.
-	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.blk"))
-	if len(segs) != 2 {
-		t.Fatalf("found %d segment files after overwrite, want 2", len(segs))
+	// The shard-count change must not leave stale segment files behind:
+	// what is on disk is exactly what the new manifest committed.
+	want := make(map[string]bool)
+	for _, si := range s.Manifest().Segments {
+		want[si.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !isSegmentFileName(e.Name()) {
+			continue
+		}
+		if !want[e.Name()] {
+			t.Fatalf("stale segment file %s after overwrite (manifest has %v)", e.Name(), s.Manifest().Segments)
+		}
+		delete(want, e.Name())
+	}
+	if len(want) != 0 {
+		t.Fatalf("committed segment files missing on disk: %v", want)
 	}
 }
 
@@ -490,7 +507,7 @@ func TestOpenRejectsOutOfRangeBlock(t *testing.T) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := openSegment(path); !errors.Is(err, ErrCorrupt) {
+		if _, err := openSegment(path, 0); !errors.Is(err, ErrCorrupt) {
 			t.Errorf("entry %+v: err = %v, want ErrCorrupt", e, err)
 		}
 	}
@@ -565,7 +582,7 @@ func TestTruncatedFooterDetected(t *testing.T) {
 	if err := WriteDataset(dir, d, Options{Shards: 1}); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, segName(0))
+	path := filepath.Join(dir, partName(0, 0))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,348 @@
+// Package storetest provides the fault-injection filesystem behind the
+// store's crash-matrix tests: a store.FS implementation that performs
+// real file operations while tracking, per file, which bytes are
+// durable (advanced only by Sync) and which would vanish if the machine
+// died. Tests drive a Writer through it and then simulate the crash at
+// any chosen operation boundary — fail the Nth operation, tear a write
+// in half, or cut power with Crash, which drops every un-synced byte,
+// keeps torn garbage, and discards renames never pinned by a directory
+// sync. The model is deliberately worst-case: nothing written counts as
+// durable until an explicit barrier said so, and a torn write's partial
+// bytes do survive, so recovery must cope with both missing tails and
+// garbage tails.
+package storetest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mobipriv/internal/store"
+)
+
+// Errors injected by FaultFS. Match with errors.Is.
+var (
+	// ErrCrashed reports an operation attempted at or after the
+	// simulated crash point: it performed nothing.
+	ErrCrashed = errors.New("storetest: simulated crash")
+
+	// ErrInjected reports the single operation FailAt selected: it
+	// performed nothing, but the filesystem keeps working afterwards.
+	ErrInjected = errors.New("storetest: injected fault")
+)
+
+// OpKind labels one filesystem operation in the recorded log.
+type OpKind string
+
+// The operation kinds FaultFS records — one per store.FS / store.File
+// method that mutates state.
+const (
+	OpCreate   OpKind = "create"
+	OpWrite    OpKind = "write"
+	OpSync     OpKind = "sync"
+	OpClose    OpKind = "close"
+	OpRename   OpKind = "rename"
+	OpRemove   OpKind = "remove"
+	OpTruncate OpKind = "truncate"
+	OpSyncDir  OpKind = "syncdir"
+)
+
+// Op is one recorded operation: its index N (0-based, the unit
+// CrashAfter/FailAt/TearAt count in), what it was, the file it touched
+// (base name) and, for writes, the payload size.
+type Op struct {
+	N     int
+	Kind  OpKind
+	Name  string
+	Bytes int
+}
+
+func (o Op) String() string {
+	if o.Kind == OpWrite {
+		return fmt.Sprintf("#%d %s %s (%d bytes)", o.N, o.Kind, o.Name, o.Bytes)
+	}
+	return fmt.Sprintf("#%d %s %s", o.N, o.Kind, o.Name)
+}
+
+// fileState tracks one file created (or truncated) through the FaultFS.
+type fileState struct {
+	written int64    // bytes written through the wrapper
+	durable int64    // high-water mark made durable by Sync
+	torn    bool     // a torn write left partial garbage; Crash keeps it
+	f       *os.File // underlying handle while open, nil after Close
+}
+
+// rename is a Rename whose durability is still pending a SyncDir.
+type rename struct{ oldname, newname string }
+
+// FaultFS is a store.FS that writes through to the real filesystem
+// while simulating worst-case durability. Inject it via
+// store.Options.FS.
+//
+// Fault selection (choose at most one per instance, before use):
+//
+//   - CrashAfter(n): the first n operations succeed; operation n and
+//     everything after fail with ErrCrashed and perform nothing.
+//   - TearAt(n): operation n must be a write; half its bytes reach the
+//     file, then the filesystem crashes as with CrashAfter.
+//   - FailAt(n): operation n alone fails with ErrInjected; no crash.
+//
+// After driving the writer into the fault, call Crash to settle the
+// disk into its post-power-loss state: every tracked non-torn file is
+// truncated to its synced watermark (removed entirely if never
+// synced), torn files keep their garbage bytes, and renames never
+// pinned by SyncDir are discarded. Files the FaultFS did not create —
+// the committed segments of earlier generations — are never touched.
+//
+// All methods are safe for concurrent use, matching the Writer's own
+// locking.
+type FaultFS struct {
+	mu         sync.Mutex
+	n          int
+	ops        []Op
+	crashAfter int // crash at op n >= crashAfter; -1 = never
+	tearAt     int // tear write op n == tearAt; -1 = never
+	failAt     int // fail op n == failAt; -1 = never
+	crashed    bool
+	files      map[string]*fileState
+	pending    []rename
+}
+
+var _ store.FS = (*FaultFS)(nil)
+
+// New returns a FaultFS with no fault armed: every operation succeeds
+// (and is recorded), which is how a test records the op log it then
+// replays with CrashAfter or TearAt.
+func New() *FaultFS {
+	return &FaultFS{crashAfter: -1, tearAt: -1, failAt: -1, files: make(map[string]*fileState)}
+}
+
+// CrashAfter arms a crash at operation n: the first n operations
+// succeed, the rest fail with ErrCrashed.
+func (fs *FaultFS) CrashAfter(n int) *FaultFS { fs.crashAfter = n; return fs }
+
+// TearAt arms a torn write at operation n: half the payload reaches the
+// file, then the filesystem crashes.
+func (fs *FaultFS) TearAt(n int) *FaultFS { fs.tearAt = n; return fs }
+
+// FailAt arms a one-shot failure of operation n, with no crash.
+func (fs *FaultFS) FailAt(n int) *FaultFS { fs.failAt = n; return fs }
+
+// OpCount returns how many operations have been attempted so far
+// (including the one that crashed or failed).
+func (fs *FaultFS) OpCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.n
+}
+
+// Ops returns a copy of the recorded operation log, including the
+// operation that crashed or failed (which performed nothing).
+func (fs *FaultFS) Ops() []Op {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]Op(nil), fs.ops...)
+}
+
+// begin records one operation and applies the armed fault. It returns
+// (tear=true) when this operation is the one TearAt selected. Caller
+// holds mu.
+func (fs *FaultFS) begin(kind OpKind, name string, bytes int) (tear bool, err error) {
+	n := fs.n
+	fs.n++
+	fs.ops = append(fs.ops, Op{N: n, Kind: kind, Name: filepath.Base(name), Bytes: bytes})
+	switch {
+	case fs.crashed:
+		return false, fmt.Errorf("%w: op #%d %s %s", ErrCrashed, n, kind, filepath.Base(name))
+	case fs.crashAfter >= 0 && n >= fs.crashAfter:
+		fs.crashed = true
+		return false, fmt.Errorf("%w: op #%d %s %s", ErrCrashed, n, kind, filepath.Base(name))
+	case fs.tearAt >= 0 && n == fs.tearAt:
+		if kind != OpWrite {
+			return false, fmt.Errorf("storetest: TearAt(%d) selected a %s of %s, not a write", n, kind, filepath.Base(name))
+		}
+		fs.crashed = true
+		return true, nil
+	case fs.failAt >= 0 && n == fs.failAt:
+		return false, fmt.Errorf("%w: op #%d %s %s", ErrInjected, n, kind, filepath.Base(name))
+	}
+	return false, nil
+}
+
+// Create creates the named file for writing, tracked from zero bytes.
+func (fs *FaultFS) Create(name string) (store.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.begin(OpCreate, name, 0); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.files[name] = &fileState{f: f}
+	return &faultFile{fs: fs, name: name}, nil
+}
+
+// Rename records the rename but applies it only at the next SyncDir —
+// the worst-case model where an unsynced rename does not survive a
+// crash. Until then the old name still holds its content.
+func (fs *FaultFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.begin(OpRename, newname, 0); err != nil {
+		return err
+	}
+	fs.pending = append(fs.pending, rename{oldname, newname})
+	return nil
+}
+
+// Remove deletes the named file immediately.
+func (fs *FaultFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.begin(OpRemove, name, 0); err != nil {
+		return err
+	}
+	delete(fs.files, name)
+	return os.Remove(name)
+}
+
+// Truncate cuts the named file immediately.
+func (fs *FaultFS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.begin(OpTruncate, name, 0); err != nil {
+		return err
+	}
+	return os.Truncate(name, size)
+}
+
+// SyncDir applies and pins every pending rename — the commit point of
+// the store's manifest swap under this model.
+func (fs *FaultFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.begin(OpSyncDir, dir, 0); err != nil {
+		return err
+	}
+	for _, r := range fs.pending {
+		if err := os.Rename(r.oldname, r.newname); err != nil {
+			return err
+		}
+		// The renamed file is durable under its new name; stop tracking
+		// it so Crash does not touch it.
+		delete(fs.files, r.oldname)
+	}
+	fs.pending = nil
+	return nil
+}
+
+// Crash settles the real directory into its post-power-loss state:
+// every tracked non-torn file is truncated back to its synced
+// watermark (removed entirely when nothing was ever synced — its
+// creation was never durable either), torn files keep all their bytes
+// including the garbage tail, pending renames are discarded, and any
+// still-open handles are closed. Untracked files are untouched. After
+// Crash every further operation fails with ErrCrashed; reopen the
+// store with a fresh filesystem to continue.
+func (fs *FaultFS) Crash() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashed = true
+	fs.pending = nil
+	for name, st := range fs.files {
+		if st.f != nil {
+			st.f.Close()
+			st.f = nil
+		}
+		switch {
+		case st.torn:
+			// Keep everything, garbage included.
+		case st.durable == 0:
+			if err := os.Remove(name); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		default:
+			if err := os.Truncate(name, st.durable); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// faultFile is the store.File wrapper over one tracked file.
+type faultFile struct {
+	fs   *FaultFS
+	name string
+}
+
+// Write appends p through to the real file. A torn write delivers only
+// the first half of p and then crashes the filesystem.
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	tear, err := f.fs.begin(OpWrite, f.name, len(p))
+	if err != nil {
+		return 0, err
+	}
+	st := f.fs.files[f.name]
+	if st == nil || st.f == nil {
+		return 0, fmt.Errorf("storetest: write to closed file %s", filepath.Base(f.name))
+	}
+	if tear {
+		half := p[:len(p)/2]
+		n, _ := st.f.Write(half)
+		st.written += int64(n)
+		st.torn = true
+		return n, fmt.Errorf("%w: torn write of %s after %d of %d bytes", ErrCrashed, filepath.Base(f.name), n, len(p))
+	}
+	n, err := st.f.Write(p)
+	st.written += int64(n)
+	return n, err
+}
+
+// Sync advances the file's durable watermark to everything written.
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, err := f.fs.begin(OpSync, f.name, 0); err != nil {
+		return err
+	}
+	st := f.fs.files[f.name]
+	if st == nil || st.f == nil {
+		return fmt.Errorf("storetest: sync of closed file %s", filepath.Base(f.name))
+	}
+	if err := st.f.Sync(); err != nil {
+		return err
+	}
+	st.durable = st.written
+	return nil
+}
+
+// Close closes the underlying handle. Durability is unchanged: bytes
+// not covered by a Sync still vanish at Crash.
+func (f *faultFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	st := f.fs.files[f.name]
+	if _, err := f.fs.begin(OpClose, f.name, 0); err != nil {
+		// The simulated machine is gone, but the test process's real
+		// file handle must not leak across the hundreds of matrix
+		// iterations sharing it.
+		if st != nil && st.f != nil {
+			st.f.Close()
+			st.f = nil
+		}
+		return err
+	}
+	if st == nil || st.f == nil {
+		return nil
+	}
+	err := st.f.Close()
+	st.f = nil
+	return err
+}

@@ -1,0 +1,150 @@
+package storetest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrashDropsUnsyncedBytes pins the durability model: synced bytes
+// survive Crash, later un-synced bytes are truncated away, and a file
+// never synced at all disappears.
+func TestCrashDropsUnsyncedBytes(t *testing.T) {
+	dir := t.TempDir()
+	fs := New()
+
+	synced := filepath.Join(dir, "synced.seg")
+	f, err := fs.Create(synced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	never := filepath.Join(dir, "never.seg")
+	g, err := fs.Create(never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(synced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "durable" {
+		t.Fatalf("synced file holds %q after crash, want %q", data, "durable")
+	}
+	if _, err := os.Stat(never); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("never-synced file still exists after crash (stat err %v)", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "late.seg")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Create after Crash: err = %v, want ErrCrashed", err)
+	}
+}
+
+// TestRenamePinnedBySyncDir pins the rename model: a Rename alone does
+// not survive Crash; Rename + SyncDir does.
+func TestRenamePinnedBySyncDir(t *testing.T) {
+	for _, pinned := range []bool{false, true} {
+		dir := t.TempDir()
+		fs := New()
+		tmp := filepath.Join(dir, "manifest.json.tmp")
+		f, err := fs.Create(tmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		final := filepath.Join(dir, "manifest.json")
+		if err := fs.Rename(tmp, final); err != nil {
+			t.Fatal(err)
+		}
+		if pinned {
+			if err := fs.SyncDir(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fs.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		_, finalErr := os.Stat(final)
+		_, tmpErr := os.Stat(tmp)
+		if pinned && (finalErr != nil || tmpErr == nil) {
+			t.Fatalf("pinned rename: final err %v, tmp err %v; want final present, tmp gone", finalErr, tmpErr)
+		}
+		if !pinned && (finalErr == nil || tmpErr != nil) {
+			t.Fatalf("unpinned rename: final err %v, tmp err %v; want final absent, tmp present", finalErr, tmpErr)
+		}
+	}
+}
+
+// TestTearAtKeepsGarbage pins torn-write behavior: half the payload
+// persists through Crash, and the op log records the write.
+func TestTearAtKeepsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	fs := New().TearAt(1) // op 0 = create, op 1 = write
+	name := filepath.Join(dir, "torn.seg")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write: err = %v, want ErrCrashed", err)
+	}
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("torn file holds %q, want the 5-byte half prefix", data)
+	}
+	ops := fs.Ops()
+	if len(ops) != 2 || ops[1].Kind != OpWrite || ops[1].Bytes != 10 {
+		t.Fatalf("op log = %v, want create + 10-byte write", ops)
+	}
+}
+
+// TestFailAtIsOneShot pins FailAt: the selected operation fails, the
+// next one succeeds.
+func TestFailAtIsOneShot(t *testing.T) {
+	dir := t.TempDir()
+	fs := New().FailAt(0)
+	if _, err := fs.Create(filepath.Join(dir, "a.seg")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 0: err = %v, want ErrInjected", err)
+	}
+	f, err := fs.Create(filepath.Join(dir, "b.seg"))
+	if err != nil {
+		t.Fatalf("op 1 after injected failure: %v", err)
+	}
+	f.Close()
+}

@@ -15,27 +15,35 @@ import (
 // callee.
 type TraceScanFunc func(tr *trace.Trace) error
 
-// userBlocks groups a segment's footer entries by user, preserving the
-// file order of each user's first block — the iteration order of every
-// trace-assembling scan.
-func (seg *segReader) userBlocks() (order []string, blocks map[string][]int) {
-	order = make([]string, 0, len(seg.entries))
-	blocks = make(map[string][]int, len(seg.entries))
-	for bi := range seg.entries {
-		u := seg.entries[bi].user
-		if len(blocks[u]) == 0 {
-			order = append(order, u)
+// partBlock addresses one block anywhere in the store: the segment's
+// index in Store.segs plus the block's index in that segment's footer.
+type partBlock struct{ seg, block int }
+
+// shardUserBlocks groups one shard's footer entries by user across all
+// of the shard's generations, preserving the order of each user's first
+// block (generations oldest first, file order within each) — the
+// iteration order of every trace-assembling scan. Shard pinning makes
+// this the complete block set of every listed user.
+func (s *Store) shardUserBlocks(sh int) (order []string, blocks map[string][]partBlock) {
+	blocks = make(map[string][]partBlock)
+	for _, si := range s.shards[sh] {
+		seg := s.segs[si]
+		for bi := range seg.entries {
+			u := seg.entries[bi].user
+			if len(blocks[u]) == 0 {
+				order = append(order, u)
+			}
+			blocks[u] = append(blocks[u], partBlock{seg: si, block: bi})
 		}
-		blocks[u] = append(blocks[u], bi)
 	}
 	return order, blocks
 }
 
-// gatherUser assembles one user's points from the given blocks of one
-// segment: pruned or decoded block by block, point-filtered, merged,
-// time-sorted and microsecond-deduplicated (first observation wins,
-// exactly as Load). The result may be empty when every point is pruned
-// or filtered away.
+// gatherUser assembles one user's points from the given blocks (all of
+// one shard, generations oldest first): pruned or decoded block by
+// block, point-filtered, merged, time-sorted and
+// microsecond-deduplicated (first observation wins, exactly as Load).
+// The result may be empty when every point is pruned or filtered away.
 //
 // In the single-block fast path the returned slice may be shared with
 // the block cache: it is already sorted and deduped by the Writer, and
@@ -43,21 +51,21 @@ func (seg *segReader) userBlocks() (order []string, blocks map[string][]int) {
 // mutated and nothing is buffered. Multi-block users are counted on the
 // buffered gauge while their fragments are held, and the high-water
 // mark folds into peak via par.PeakAdd.
-func (s *Store) gatherUser(segIdx int, idxs []int, users map[string]bool, opts ScanOptions, stats *ScanStats, buffered, peak *int64) ([]trace.Point, error) {
-	seg := s.segs[segIdx]
-	readBlock := func(bi int) ([]trace.Point, error) {
-		e := &seg.entries[bi]
+func (s *Store) gatherUser(idxs []partBlock, users map[string]bool, opts ScanOptions, stats *ScanStats, buffered, peak *int64) ([]trace.Point, error) {
+	readBlock := func(pb partBlock) ([]trace.Point, error) {
+		seg := s.segs[pb.seg]
+		e := &seg.entries[pb.block]
 		atomic.AddInt64(&stats.BlocksTotal, 1)
 		if s.pruned(e, users, opts) {
 			atomic.AddInt64(&stats.BlocksPruned, 1)
 			return nil, nil
 		}
-		user, raw, err := s.block(segIdx, bi, stats, opts.NoCache)
+		user, raw, err := s.block(pb.seg, pb.block, stats, opts.NoCache)
 		if err != nil {
-			return nil, fmt.Errorf("segment %s block %d: %w", seg.file, bi, err)
+			return nil, fmt.Errorf("segment %s block %d: %w", seg.file, pb.block, err)
 		}
 		if user != e.user {
-			return nil, corruptf("segment %s block %d: footer user %q, block user %q", seg.file, bi, e.user, user)
+			return nil, corruptf("segment %s block %d: footer user %q, block user %q", seg.file, pb.block, e.user, user)
 		}
 		return filterPoints(raw, opts), nil
 	}
@@ -67,8 +75,8 @@ func (s *Store) gatherUser(segIdx int, idxs []int, users map[string]bool, opts S
 	par.PeakAdd(buffered, peak)
 	defer atomic.AddInt64(buffered, -1)
 	var buf []trace.Point
-	for _, bi := range idxs {
-		pts, err := readBlock(bi)
+	for _, pb := range idxs {
+		pts, err := readBlock(pb)
 		if err != nil {
 			return nil, err
 		}
@@ -77,33 +85,38 @@ func (s *Store) gatherUser(segIdx int, idxs []int, users map[string]bool, opts S
 	if len(buf) == 0 {
 		return nil, nil
 	}
+	// The stable sort keeps equal-microsecond points in append order
+	// (older generation first), so the first-wins winner is the same one
+	// a single-session store would have kept.
 	sort.SliceStable(buf, func(a, b int) bool { return buf[a].Time.Before(buf[b].Time) })
 	return dedupeMicros(buf), nil
 }
 
 // ScanTraces streams whole traces out of the store: each user's blocks
-// — however fragmented by streaming appends — are merged, time-sorted
-// and microsecond-deduplicated (first observation wins, exactly as
-// Load), then delivered to fn as one validated trace.
+// — however fragmented by streaming appends, within a generation or
+// across reopen sessions — are merged, time-sorted and
+// microsecond-deduplicated (first observation wins, exactly as Load),
+// then delivered to fn as one validated trace.
 //
-// Unlike Load, ScanTraces never materializes the dataset. Each segment
-// goroutine gathers one user at a time: the footer indexes every
-// user's blocks up front, so the goroutine reads exactly that user's
-// blocks, emits the trace, and releases the memory before moving on.
-// Peak memory is therefore one user's fragments per segment goroutine
-// regardless of how interleaved the segment is; the high-water count
-// of concurrently buffered multi-block users lands in
-// ScanStats.PeakBufferedUsers (bounded by the goroutine count, and 0
-// for a compacted store where every user is a single block). The cost
-// of the bound is read order: an interleaved segment is read per-user
-// rather than sequentially, while a compacted or Add-built segment
-// (contiguous user runs) is still read nearly front to back.
+// Unlike Load, ScanTraces never materializes the dataset. Each shard
+// goroutine gathers one user at a time: the footers index every user's
+// blocks across the shard's generations up front, so the goroutine
+// reads exactly that user's blocks, emits the trace, and releases the
+// memory before moving on. Peak memory is therefore one user's
+// fragments per shard goroutine regardless of how interleaved the
+// shard is; the high-water count of concurrently buffered multi-block
+// users lands in ScanStats.PeakBufferedUsers (bounded by the goroutine
+// count, and 0 for a compacted store where every user is a single
+// block). The cost of the bound is read order: an interleaved shard is
+// read per-user rather than sequentially, while a compacted or
+// Add-built store (contiguous user runs, one generation) is still read
+// nearly front to back.
 //
-// Segments are fanned across internal/par workers like Scan, so fn is
-// called concurrently (one goroutine per segment at most) and must be
-// safe for that. Within a segment, users are delivered in the file
-// order of their first blocks. Users whose every point is removed by
-// the bbox/time filters are not delivered.
+// Shards are fanned across internal/par workers like Scan, so fn is
+// called concurrently (one goroutine per shard at most) and must be
+// safe for that. Within a shard, users are delivered in the order of
+// their first blocks (generations oldest first). Users whose every
+// point is removed by the bbox/time filters are not delivered.
 func (s *Store) ScanTraces(ctx context.Context, opts ScanOptions, fn TraceScanFunc) error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -119,13 +132,13 @@ func (s *Store) ScanTraces(ctx context.Context, opts ScanOptions, fn TraceScanFu
 	// buffered counts users being assembled across all segment
 	// goroutines; its high-water mark lands in stats.PeakBufferedUsers.
 	var buffered int64
-	return par.Map(ctx, len(s.segs), func(i int) error {
-		order, blocks := s.segs[i].userBlocks()
+	return par.Map(ctx, len(s.shards), func(sh int) error {
+		order, blocks := s.shardUserBlocks(sh)
 		for _, user := range order {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			pts, err := s.gatherUser(i, blocks[user], users, opts, stats, &buffered, &stats.PeakBufferedUsers)
+			pts, err := s.gatherUser(blocks[user], users, opts, stats, &buffered, &stats.PeakBufferedUsers)
 			if err != nil {
 				return err
 			}

@@ -2,7 +2,7 @@ package store
 
 import (
 	"encoding/binary"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,25 +12,33 @@ import (
 	"mobipriv/internal/trace"
 )
 
-// Writer builds a store directory. Points are buffered per user and
-// flushed to the user's shard as columnar blocks whenever a buffer
-// reaches Options.BlockPoints; Close flushes the remainder and writes
-// the footers and the manifest. A store is readable only after a
-// successful Close.
+// Writer builds one generation of a store directory. Points are
+// buffered per user and flushed to the user's shard as columnar blocks
+// whenever a buffer reaches Options.BlockPoints; Close flushes the
+// remainder, writes and fsyncs the footers, and commits the generation
+// with an atomic manifest swap. The store's readable contents change
+// only at that commit: a crash anywhere before it leaves the previous
+// manifest (and only the previous data) visible.
 //
 // Writer is safe for concurrent use, so a streaming service can append
 // from several shard goroutines into one store.
 type Writer struct {
 	dir  string
 	opts Options
+	fsi  FS
+	gen  int // generation this session writes (== committed generations at open)
 
 	mu     sync.Mutex
-	segs   []*segWriter
+	segs   []*segWriter             // one per shard, created lazily on first block
 	bufs   map[string][]trace.Point // pending points per user
 	sealed map[string]bool          // users added via Add (whole traces)
-	users  map[string]bool          // every user ever appended
+	users  map[string]bool          // every user appended this session
 	points int
 	closed bool
+
+	prev      *Manifest       // committed manifest carried across a reopen; nil for a fresh store
+	prevUsers map[string]bool // users present in committed generations
+	rec       RecoveryStats
 
 	// Lifetime write totals, for WriterStats / sink metrics.
 	wroteBlocks int64
@@ -54,73 +62,245 @@ func (w *Writer) Stats() WriterStats {
 	return WriterStats{Blocks: w.wroteBlocks, Bytes: w.wroteBytes, Points: w.wrotePoints}
 }
 
-// segWriter accumulates one segment file.
+// RecoveryStats reports what the recovery pass at OpenAppend found, and
+// which generation the writer extends — the counters behind the
+// service's store_recovery_runs / store_truncated_tails metrics and the
+// generation-count gauge.
+type RecoveryStats struct {
+	// Runs counts recovery passes: 1 after OpenAppend, 0 after Create.
+	Runs int64
+
+	// TruncatedTails counts uncommitted bytes dealt with: segment files
+	// a crashed session left behind that the manifest does not claim
+	// (removed whole), plus committed files with bytes past their
+	// recorded size (truncated back).
+	TruncatedTails int64
+
+	// Generation is the number of committed generations at open — the
+	// generation number this writer's segments carry.
+	Generation int64
+}
+
+// Recovery snapshots the writer's recovery counters. Safe for
+// concurrent use.
+func (w *Writer) Recovery() RecoveryStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rec
+}
+
+// segWriter accumulates one segment file of the current generation.
 type segWriter struct {
-	f       *os.File
+	name    string
+	f       File
 	offset  uint64
 	entries []blockEntry
 	users   map[string]bool
 	points  int
 }
 
+// newWriter assembles a Writer; shards is taken from prev when
+// extending an existing store, from opts when fresh.
+func newWriter(path string, opts Options, fsi FS, prev *Manifest, prevUsers map[string]bool) *Writer {
+	shards, gen := opts.Shards, 0
+	if prev != nil {
+		shards, gen = prev.Shards, prev.Generations
+	}
+	if prevUsers == nil {
+		prevUsers = make(map[string]bool)
+	}
+	return &Writer{
+		dir:       path,
+		opts:      opts,
+		fsi:       fsi,
+		gen:       gen,
+		segs:      make([]*segWriter, shards),
+		bufs:      make(map[string][]trace.Point),
+		sealed:    make(map[string]bool),
+		users:     make(map[string]bool),
+		prev:      prev,
+		prevUsers: prevUsers,
+		rec:       RecoveryStats{Generation: int64(gen)},
+	}
+}
+
 // Create initializes an empty store at path (a directory that must not
-// already contain a store) and returns a Writer for it.
+// already contain a store) and returns a Writer for its generation 0.
 func Create(path string, opts Options) (*Writer, error) {
 	opts = opts.withDefaults()
+	fsi := opts.fs()
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", path, err)
 	}
-	if _, err := os.Stat(filepath.Join(path, manifestName)); err == nil {
-		if !opts.Overwrite {
-			return nil, fmt.Errorf("%w: %s", ErrExists, path)
-		}
-		if err := removeStoreFiles(path); err != nil {
+	if _, err := os.Stat(filepath.Join(path, manifestName)); err == nil && !opts.Overwrite {
+		return nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	// Clear the store's own files — a store being overwritten, or the
+	// debris of a build that crashed before its first commit. Nothing
+	// else in the directory is touched, so a mistyped path cannot wipe
+	// foreign data.
+	if _, err := removeStoreFiles(path, fsi); err != nil {
+		return nil, err
+	}
+	return newWriter(path, opts, fsi, nil, nil), nil
+}
+
+// OpenAppend opens the store at path for continued ingest: the
+// returned Writer starts a new generation of segment files beside the
+// committed ones, and Close commits them with an atomic manifest swap.
+// A missing store is created fresh (with opts.Shards); an existing one
+// keeps its shard count, and opts.Shards is ignored.
+//
+// Before anything is written, OpenAppend runs a recovery pass over the
+// directory: a stale manifest temp file and any segment files the
+// committed manifest does not claim (the debris of a crashed session)
+// are removed, and committed files holding bytes past their recorded
+// size are truncated back to it. Committed data is never touched — the
+// pass only ever discards bytes no manifest commit ever claimed. What
+// it did is reported by Recovery.
+func OpenAppend(path string, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	fsi := opts.fs()
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	data, err := os.ReadFile(filepath.Join(path, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		// No committed manifest: a brand-new store, or a session that
+		// crashed before its first commit. Recovery is the same either
+		// way — clear the debris and start generation 0.
+		removed, err := removeStoreFiles(path, fsi)
+		if err != nil {
 			return nil, err
 		}
+		w := newWriter(path, opts, fsi, nil, nil)
+		w.rec.Runs = 1
+		w.rec.TruncatedTails = int64(removed)
+		return w, nil
 	}
-	w := &Writer{
-		dir:    path,
-		opts:   opts,
-		segs:   make([]*segWriter, opts.Shards),
-		bufs:   make(map[string][]trace.Point),
-		sealed: make(map[string]bool),
-		users:  make(map[string]bool),
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
-	for i := range w.segs {
-		f, err := os.Create(filepath.Join(path, segName(i)))
+	man, err := parseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+
+	rec := RecoveryStats{Runs: 1, Generation: int64(man.Generations)}
+	committed := make(map[string]bool, len(man.Segments))
+	for i := range man.Segments {
+		committed[man.Segments[i].File] = true
+	}
+	// Remove what no manifest commit ever claimed: the staging manifest
+	// and segment files of a crashed, uncommitted session.
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: recover %s: %w", path, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if committed[name] {
+			continue
+		}
+		isSeg := isSegmentFileName(name)
+		if name != manifestTmpName && !isSeg {
+			continue
+		}
+		if err := fsi.Remove(filepath.Join(path, name)); err != nil {
+			return nil, fmt.Errorf("store: recover %s: %w", path, err)
+		}
+		if isSeg {
+			rec.TruncatedTails++
+		}
+	}
+	// Verify every committed segment and truncate torn tails. The users
+	// recorded in the committed footers are gathered along the way so
+	// Add can keep its whole-trace promise across generations and Close
+	// can count users exactly.
+	prevUsers := make(map[string]bool, man.Users)
+	for i := range man.Segments {
+		si := &man.Segments[i]
+		full := filepath.Join(path, si.File)
+		st, err := os.Stat(full)
 		if err != nil {
-			w.abort()
-			return nil, fmt.Errorf("store: create segment: %w", err)
+			return nil, corruptf("committed segment %s: %v", si.File, err)
 		}
-		if _, err := f.WriteString(magicHeader); err != nil {
-			w.abort()
-			return nil, fmt.Errorf("store: write segment header: %w", err)
+		if si.Size == 0 {
+			// v1 manifests record no size: backfill from the file, which
+			// a v1 writer always wrote whole (no reopen existed).
+			si.Size = st.Size()
 		}
-		w.segs[i] = &segWriter{f: f, offset: uint64(len(magicHeader)), users: make(map[string]bool)}
+		switch {
+		case st.Size() < si.Size:
+			return nil, corruptf("committed segment %s is %d bytes, manifest committed %d", si.File, st.Size(), si.Size)
+		case st.Size() > si.Size:
+			if err := fsi.Truncate(full, si.Size); err != nil {
+				return nil, fmt.Errorf("store: recover %s: %w", path, err)
+			}
+			rec.TruncatedTails++
+		}
+		seg, err := openSegment(full, si.Size)
+		if err != nil {
+			return nil, fmt.Errorf("store: recover %s: segment %s: %w", path, si.File, err)
+		}
+		for bi := range seg.entries {
+			prevUsers[seg.entries[bi].user] = true
+		}
+		seg.f.Close()
 	}
+
+	w := newWriter(path, opts, fsi, &man, prevUsers)
+	w.rec = rec
 	return w, nil
 }
 
-// removeStoreFiles deletes an existing store's manifest and segment
-// files — and nothing else, so a mistyped path cannot wipe foreign
-// data.
-func removeStoreFiles(path string) error {
-	if err := os.Remove(filepath.Join(path, manifestName)); err != nil {
-		return fmt.Errorf("store: overwrite %s: %w", path, err)
-	}
-	segs, err := filepath.Glob(filepath.Join(path, "seg-*.blk"))
+// removeStoreFiles deletes a store's own files — manifest, staging
+// manifest, and segment files of either naming generation — and nothing
+// else. Returns how many segment files it removed.
+func removeStoreFiles(path string, fsi FS) (int, error) {
+	entries, err := os.ReadDir(path)
 	if err != nil {
-		return fmt.Errorf("store: overwrite %s: %w", path, err)
+		return 0, fmt.Errorf("store: clear %s: %w", path, err)
 	}
-	for _, seg := range segs {
-		if err := os.Remove(seg); err != nil {
-			return fmt.Errorf("store: overwrite %s: %w", path, err)
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		isSeg := isSegmentFileName(name)
+		if name != manifestName && name != manifestTmpName && !isSeg {
+			continue
+		}
+		if err := fsi.Remove(filepath.Join(path, name)); err != nil {
+			return removed, fmt.Errorf("store: clear %s: %w", path, err)
+		}
+		if isSeg {
+			removed++
 		}
 	}
-	return nil
+	return removed, nil
 }
 
-// abort closes any opened segment files after a failed Create.
+// seg returns shard i's segment writer, creating the generation's file
+// (and writing its magic header) on first use — shards that receive no
+// data this session never produce a file. Caller holds mu.
+func (w *Writer) seg(i int) (*segWriter, error) {
+	if w.segs[i] != nil {
+		return w.segs[i], nil
+	}
+	name := partName(i, w.gen)
+	f, err := w.fsi.Create(filepath.Join(w.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: create segment: %w", err)
+	}
+	if _, err := f.Write([]byte(magicHeader)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: write segment header: %w", err)
+	}
+	w.segs[i] = &segWriter{name: name, f: f, offset: uint64(len(magicHeader)), users: make(map[string]bool)}
+	return w.segs[i], nil
+}
+
+// abort closes any opened segment files after a failed build. Caller
+// holds mu.
 func (w *Writer) abort() {
 	for _, s := range w.segs {
 		if s != nil {
@@ -130,19 +310,21 @@ func (w *Writer) abort() {
 }
 
 // Add writes one whole trace and seals its user: a second Add (or a
-// later Append) for the same user fails with ErrDuplicateUser. The
-// trace must be valid (trace.Trace invariant). Because the trace is
-// complete, Add flushes it to the user's shard immediately — including
-// the sub-block tail — so a store built from millions of Adds (a
-// store-native mechanism run, a compaction) holds no per-user residue
-// until Close.
+// later Append) for the same user fails with ErrDuplicateUser — as does
+// an Add for a user already present in a committed generation, since
+// readers would merge the fragments and the trace would no longer be
+// whole. The trace must be valid (trace.Trace invariant). Because the
+// trace is complete, Add flushes it to the user's shard immediately —
+// including the sub-block tail — so a store built from millions of Adds
+// (a store-native mechanism run, a compaction) holds no per-user
+// residue until Close.
 func (w *Writer) Add(tr *trace.Trace) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
 	}
-	if w.sealed[tr.User] || len(w.bufs[tr.User]) > 0 || w.users[tr.User] {
+	if w.sealed[tr.User] || len(w.bufs[tr.User]) > 0 || w.users[tr.User] || w.prevUsers[tr.User] {
 		return fmt.Errorf("%w: %q", ErrDuplicateUser, tr.User)
 	}
 	if err := w.append(tr.User, tr.Points); err != nil {
@@ -157,7 +339,9 @@ func (w *Writer) Add(tr *trace.Trace) error {
 
 // Append adds points to a user's open trace, creating it on first use.
 // Unlike Add it may be called repeatedly for the same user — the
-// streaming-sink entry point — but not for a user sealed by Add. The
+// streaming-sink entry point — and, on a store opened with OpenAppend,
+// for users whose earlier points live in committed generations: readers
+// merge the fragments across generations exactly as within one. The
 // points of each call must be time-ordered; across calls, Load sorts.
 func (w *Writer) Append(user string, pts ...trace.Point) error {
 	w.mu.Lock()
@@ -215,7 +399,10 @@ func (w *Writer) flushUser(user string, n int) error {
 		pts = deduped
 	}
 
-	seg := w.segs[shardOf(user, len(w.segs))]
+	seg, err := w.seg(shardOf(user, len(w.segs)))
+	if err != nil {
+		return err
+	}
 	data, st := appendBlock(nil, user, pts)
 	if _, err := seg.f.Write(data); err != nil {
 		return fmt.Errorf("store: write block: %w", err)
@@ -261,6 +448,8 @@ func (w *Writer) flushAll() error {
 // size, bounding the Writer's memory for long-running streaming sinks
 // (many users, each far below BlockPoints). The cost is fragmentation —
 // more, smaller blocks — which `mobistore compact` undoes offline.
+// Flush does not commit: the data becomes part of the store only at
+// Close.
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -270,9 +459,14 @@ func (w *Writer) Flush() error {
 	return w.flushAll()
 }
 
-// Close flushes every buffered trace, writes each segment's footer and
-// trailer, and writes the manifest, after which the store is complete
-// and readable. Close is idempotent; later writes fail with ErrClosed.
+// Close flushes every buffered trace, finalizes and fsyncs each new
+// segment (footer, trailer), and commits the generation by writing the
+// new manifest to a temp file, fsyncing it, renaming it over
+// manifest.json and fsyncing the directory. Until the rename lands, the
+// previous manifest — and only the previous data — is what any reader
+// or recovery pass sees. Close is idempotent; later writes fail with
+// ErrClosed. A session that wrote no data commits no segments and does
+// not advance the generation count.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -292,11 +486,44 @@ func (w *Writer) Close() error {
 		CoordScale: CoordScale,
 		TimeUnit:   "us",
 		Shards:     len(w.segs),
-		Users:      len(w.users),
-		Points:     w.points,
 	}
 	first := true
+	if w.prev != nil {
+		man.Segments = append(man.Segments, w.prev.Segments...)
+		man.Generations = w.prev.Generations
+		man.Users = len(w.prevUsers)
+		man.Points = w.prev.Points
+		if w.prev.Points > 0 {
+			man.MinTimeUS, man.MaxTimeUS = w.prev.MinTimeUS, w.prev.MaxTimeUS
+			if len(w.prev.BBoxE7) == 4 {
+				man.BBoxE7 = append([]int64(nil), w.prev.BBoxE7...)
+			}
+			first = false
+		}
+	}
+	for u := range w.users {
+		if !w.prevUsers[u] {
+			man.Users++
+		}
+	}
+	// Points is the sum of stored points: a user whose generations
+	// repeat a microsecond stores both copies (readers dedup first-wins
+	// on merge), exactly as fragments within one generation do.
+	man.Points += w.points
+
+	committedNew := false
 	for i, seg := range w.segs {
+		if seg == nil {
+			continue
+		}
+		if len(seg.entries) == 0 {
+			// Created but holding no block (a failed first write): not
+			// part of this commit. Best-effort removal; recovery sweeps
+			// whatever remains.
+			seg.f.Close()
+			w.fsi.Remove(filepath.Join(w.dir, seg.name))
+			continue
+		}
 		footer := appendFooter(nil, seg.entries)
 		if _, err := seg.f.Write(footer); err != nil {
 			w.abort()
@@ -309,11 +536,21 @@ func (w *Writer) Close() error {
 			w.abort()
 			return fmt.Errorf("store: write trailer: %w", err)
 		}
+		// The segment must be durable before a manifest references it:
+		// commit order is segment fsync, then manifest swap.
+		if err := seg.f.Sync(); err != nil {
+			w.abort()
+			return fmt.Errorf("store: sync segment: %w", err)
+		}
 		if err := seg.f.Close(); err != nil {
 			return fmt.Errorf("store: close segment: %w", err)
 		}
+		committedNew = true
 		man.Segments = append(man.Segments, SegmentInfo{
-			File:   segName(i),
+			File:   seg.name,
+			Shard:  i,
+			Gen:    w.gen,
+			Size:   int64(seg.offset) + int64(len(footer)) + 16,
 			Blocks: len(seg.entries),
 			Users:  len(seg.users),
 			Points: seg.points,
@@ -336,12 +573,41 @@ func (w *Writer) Close() error {
 			first = false
 		}
 	}
-	data, err := json.MarshalIndent(man, "", "  ")
-	if err != nil {
-		return fmt.Errorf("store: encode manifest: %w", err)
+	if committedNew {
+		man.Generations = w.gen + 1
 	}
-	if err := os.WriteFile(filepath.Join(w.dir, manifestName), append(data, '\n'), 0o644); err != nil {
+	return w.commitManifest(man)
+}
+
+// commitManifest writes man to the staging file, fsyncs it, renames it
+// over the live manifest and fsyncs the directory — the commit point.
+// Caller holds mu.
+func (w *Writer) commitManifest(man Manifest) error {
+	data, err := encodeManifest(man)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(w.dir, manifestTmpName)
+	f, err := w.fsi.Create(tmp)
+	if err != nil {
 		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close manifest: %w", err)
+	}
+	if err := w.fsi.Rename(tmp, filepath.Join(w.dir, manifestName)); err != nil {
+		return fmt.Errorf("store: commit manifest: %w", err)
+	}
+	if err := w.fsi.SyncDir(w.dir); err != nil {
+		return fmt.Errorf("store: sync store directory: %w", err)
 	}
 	return nil
 }
@@ -378,8 +644,8 @@ func WriteDataset(path string, d *trace.Dataset, opts Options) error {
 }
 
 // abortClose marks the writer closed and releases its files after a
-// mid-build failure, leaving the partial (manifest-less) directory
-// behind for inspection.
+// mid-build failure, leaving the partial (uncommitted) directory behind
+// for inspection; the next Create or OpenAppend sweeps it.
 func (w *Writer) abortClose() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
