@@ -9,6 +9,7 @@
 //	mobistore info data.mstore [-blocks]
 //	mobistore cat data.mstore [-format csv|jsonl] [-users a,b] [-bbox minLat,minLng,maxLat,maxLng] [-from t] [-to t]
 //	mobistore compact -in frag.mstore -out tidy.mstore [-shards 8]
+//	mobistore merge -out all.mstore node0.mstore node1.mstore [node2.mstore ...]
 //	mobistore diff orig.mstore anon.mstore [-workers 4]
 //
 // build streams any traceio input (CSV, JSONL, Geolife PLT, each
@@ -18,7 +19,11 @@
 // typically one grown by mobiserve's streaming sink — merging each
 // user's fragmented blocks into contiguous sorted runs; the merge
 // streams trace-by-trace (store.Compact), so compacting a store never
-// loads the dataset. diff pairs two stores user by user
+// loads the dataset. merge joins the per-node sinks of a multi-node
+// fleet (mobirouter in front of N mobiserve workers) into one store
+// via the same streaming plumbing (store.Merge); the inputs must hold
+// disjoint users, which hash routing guarantees by construction. diff
+// pairs two stores user by user
 // (store.ScanTracesPaired) and reports each user's divergence — point
 // counts and the anonymized points' mean/max displacement from the
 // original path — without loading either dataset.
@@ -52,7 +57,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mobistore <build|info|cat|compact|diff> [flags] (see go doc mobipriv/cmd/mobistore)")
+		return fmt.Errorf("usage: mobistore <build|info|cat|compact|merge|diff> [flags] (see go doc mobipriv/cmd/mobistore)")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -64,10 +69,12 @@ func run(args []string, stdout io.Writer) error {
 		return runCat(rest, stdout)
 	case "compact":
 		return runCompact(rest, stdout)
+	case "merge":
+		return runMerge(rest, stdout)
 	case "diff":
 		return runDiff(rest, stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want build, info, cat, compact or diff)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want build, info, cat, compact, merge or diff)", cmd)
 	}
 }
 
@@ -264,6 +271,67 @@ func runCompact(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "compacted %s (%d blocks) -> %s (%d blocks), %d users, %d points (peak %d users buffered)\n",
 		*in, st.BlocksIn, *out, outBlocks, st.Users, st.Points, st.PeakBufferedUsers)
+	return nil
+}
+
+// runMerge joins N per-node stores — typically the .mstore sinks of a
+// mobiserve fleet behind mobirouter — into one store, streaming
+// trace-by-trace (store.Merge): the dataset is never loaded. The
+// inputs must hold disjoint users; hash routing guarantees that for
+// fleet sinks, and a violation surfaces as a duplicate-user error
+// rather than a silent bad merge.
+func runMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mobistore merge", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "", "output store; required")
+		shards  = fs.Int("shards", 0, "segment count of the output (0 keeps the first input's)")
+		block   = fs.Int("block", 4096, "max points per block")
+		workers = fs.Int("workers", 0, "parallel segment scanners (0 = one per CPU; 1 gives a byte-deterministic output)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("merge: -out is required")
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("merge: want at least one input store path")
+	}
+	var srcs []*store.Store
+	defer func() {
+		for _, s := range srcs {
+			s.Close()
+		}
+	}()
+	for _, in := range fs.Args() {
+		if store.SamePath(in, *out) {
+			// Creating the output would unlink this input's segments
+			// before they are read; a mid-run failure would lose data.
+			return fmt.Errorf("merge: cannot merge %s into itself; write to a new store and move it", in)
+		}
+		s, err := store.Open(in)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, s)
+	}
+	if *shards == 0 {
+		*shards = srcs[0].Manifest().Shards
+	}
+	w, err := store.Create(*out, store.Options{Shards: *shards, BlockPoints: *block, Overwrite: true})
+	if err != nil {
+		return err
+	}
+	ctx := par.WithWorkers(context.Background(), *workers)
+	st, err := store.Merge(ctx, srcs, w)
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "merged %d stores (%d blocks) -> %s, %d users, %d points\n",
+		st.Sources, st.BlocksIn, *out, st.Users, st.Points)
 	return nil
 }
 

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mobipriv/internal/rng"
+	"mobipriv/internal/store"
+	"mobipriv/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildNodeStores writes three fragmented per-node stores the way a
+// mobiserve fleet's sinks would: each user lands on the node the
+// placement contract (rng.Shard) picks, and appends interleave across
+// users with tiny blocks so every store is fragmented.
+func buildNodeStores(t *testing.T, dir string) []string {
+	t.Helper()
+	const nodes = 3
+	base := time.Date(2025, 6, 1, 8, 0, 0, 0, time.UTC)
+	writers := make([]*store.Writer, nodes)
+	paths := make([]string, nodes)
+	for i := range writers {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("node%d.mstore", i))
+		w, err := store.Create(paths[i], store.Options{Shards: 2, BlockPoints: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writers[i] = w
+	}
+	users := []string{"ann", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+	for i := 0; i < 6; i++ {
+		for ui, u := range users {
+			p := trace.P(40+float64(ui), 5+float64(i)/1e3, base.Add(time.Duration(i)*time.Minute))
+			if err := writers[rng.Shard(u, nodes)].Append(u, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+// TestMergeGolden pins the fleet-join path end to end: merging three
+// fragmented per-node stores produces a store whose summary line and
+// full `mobistore info` rendering (shard/gen layout, per-segment block
+// and point counts) match the checked-in golden byte for byte. Run
+// with -update to rewrite the golden after an intended format change.
+func TestMergeGolden(t *testing.T) {
+	dir := t.TempDir()
+	paths := buildNodeStores(t, dir)
+	out := filepath.Join(dir, "merged.mstore")
+
+	var buf bytes.Buffer
+	// One scan worker: the output store's segment layout is
+	// byte-deterministic, which is what lets info output be golden.
+	args := append([]string{"merge", "-out", out, "-workers", "1"}, paths...)
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := run([]string{"info", out}, &buf); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	got := strings.ReplaceAll(buf.String(), dir, "<TMP>")
+
+	golden := filepath.Join("testdata", "merge_info.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("merge output differs from golden (-update to rewrite):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The merged store must load the union of the per-node data.
+	s, err := store.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	d, err := s.Load(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 8 || d.TotalPoints() != 48 {
+		t.Errorf("merged store holds %d users / %d points, want 8 / 48", d.Len(), d.TotalPoints())
+	}
+}
+
+// TestMergeRefusesSelfMerge pins the SamePath guard: merging a store
+// into itself would unlink the input's segments before reading them,
+// so it must be refused before any damage, whichever argument position
+// the collision is in.
+func TestMergeRefusesSelfMerge(t *testing.T) {
+	dir := t.TempDir()
+	paths := buildNodeStores(t, dir)
+	for _, in := range []string{paths[0], paths[2]} {
+		err := run([]string{"merge", "-out", in, paths[0], paths[1], paths[2]}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "into itself") {
+			t.Fatalf("self-merge into %s accepted (err=%v)", in, err)
+		}
+	}
+	// No input was damaged by the refusals.
+	for _, p := range paths {
+		s, err := store.Open(p)
+		if err != nil {
+			t.Fatalf("input %s damaged by rejected self-merge: %v", p, err)
+		}
+		s.Close()
+	}
+}
+
+// TestMergeRejectsOverlappingUsers pins the disjointness contract: two
+// stores sharing a user are not a partition of one dataset, and the
+// merge must fail naming the duplicate instead of interleaving two
+// users' points.
+func TestMergeRejectsOverlappingUsers(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Date(2025, 6, 1, 8, 0, 0, 0, time.UTC)
+	mk := func(name string) string {
+		path := filepath.Join(dir, name)
+		w, err := store.Create(path, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append("shared-user", trace.P(1, 2, base)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a, b := mk("a.mstore"), mk("b.mstore")
+	err := run([]string{"merge", "-out", filepath.Join(dir, "out.mstore"), "-workers", "1", a, b}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "shared-user") {
+		t.Fatalf("overlapping merge err = %v, want duplicate-user error naming shared-user", err)
+	}
+}

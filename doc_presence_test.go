@@ -40,6 +40,12 @@ func TestPackageDocsPresent(t *testing.T) {
 		{"internal/obs", []string{"counter", "gauge", "histogram", "merge", "prometheus", "idempotent"}},
 		// The load driver: deterministic traffic and checksums.
 		{"internal/load", []string{"deterministic", "hash(user)", "checksum", "mergeable"}},
+		// The placement helper: the single hash both the engine's
+		// shards and the router's nodes are derived from.
+		{"internal/rng", []string{"placement", "shard", "splitmix64", "fnv"}},
+		// The router: stateless placement-contract forwarding, exact
+		// stats aggregation, and loud partition failure.
+		{"internal/router", []string{"placement", "batch", "retried", "503", "merge", "traceparent"}},
 		// The tracing layer: deterministic identity and sampling,
 		// nil-safe spans, and the flight-recorder retention story.
 		{"internal/obs/trace", []string{"span", "deterministic", "sampling", "traceparent", "nil-safe", "ring", "exemplar"}},

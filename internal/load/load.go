@@ -38,6 +38,7 @@ import (
 
 	"mobipriv/internal/obs"
 	otrace "mobipriv/internal/obs/trace"
+	"mobipriv/internal/rng"
 	"mobipriv/internal/store"
 	"mobipriv/internal/synth"
 	"mobipriv/internal/trace"
@@ -277,8 +278,9 @@ func buildTraffic(ctx context.Context, cfg Config) ([][]rec, int64, string, erro
 		all = all[:cfg.MaxPoints]
 	}
 
-	// Partition users across workers by FNV-1a, mirroring the engine's
-	// shard routing: one worker owns all of a user's points.
+	// Partition users across workers with the shared placement contract
+	// (rng.Shard), mirroring the engine's shard routing: one worker owns
+	// all of a user's points.
 	streams := make([][]rec, cfg.Workers)
 	for _, r := range all {
 		streams[userWorker(r.user, cfg.Workers)] = append(streams[userWorker(r.user, cfg.Workers)], r)
@@ -293,16 +295,12 @@ func buildTraffic(ctx context.Context, cfg Config) ([][]rec, int64, string, erro
 	return streams, int64(len(all)), strconv.FormatUint(h.Sum64(), 16), nil
 }
 
-// userWorker is inline FNV-1a over the user id (the same routing
-// function the stream engine shards by).
+// userWorker partitions a user onto a sender worker with the shared
+// placement contract (rng.Shard) — the same function the stream engine
+// shards by and the multi-node router routes by, so one worker owns
+// all of a user's points whatever the concurrency.
 func userWorker(user string, n int) int {
-	const offset64, prime64 = 14695981039346656037, 1099511628211
-	h := uint64(offset64)
-	for i := 0; i < len(user); i++ {
-		h ^= uint64(user[i])
-		h *= prime64
-	}
-	return int(h % uint64(n))
+	return rng.Shard(user, n)
 }
 
 // sendStream sends one worker's stream in batches, pacing against rate

@@ -80,6 +80,48 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// Snapshot returns a full-fidelity snapshot of h under the given series
+// name and label signature: the quantile summary JSON views print plus
+// the exact mergeable state (integer nanosecond sum, sparse populated
+// bins) that MergeSnapshot can fold back into a histogram losslessly.
+func (h *Histogram) Snapshot(name, labels string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   name,
+		Labels: labels,
+		Count:  h.count.Load(),
+		SumNs:  h.sumNs.Load(),
+		Sum:    h.Sum(),
+		P50:    h.Quantile(0.50),
+		P95:    h.Quantile(0.95),
+		P99:    h.Quantile(0.99),
+	}
+	for i := range h.bins {
+		if n := h.bins[i].Load(); n != 0 {
+			s.Bins = append(s.Bins, HistogramBin{Bin: i, Count: n})
+		}
+	}
+	return s
+}
+
+// MergeSnapshot folds a snapshot's exact state (Count, SumNs, Bins)
+// into h. Like Merge it commutes with Observe and with itself: merging
+// per-worker snapshots in any order yields the same histogram a single
+// process would have produced from the same observations — the property
+// the router's fleet-wide /stats aggregation depends on. Bins outside
+// the histogram geometry (a corrupt or foreign snapshot) are dropped.
+func (h *Histogram) MergeSnapshot(s HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	h.count.Add(s.Count)
+	h.sumNs.Add(s.SumNs)
+	for _, b := range s.Bins {
+		if b.Bin >= 0 && b.Bin < histBins && b.Count != 0 {
+			h.bins[b.Bin].Add(b.Count)
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

@@ -223,11 +223,20 @@ func (r *Registry) Value(name string, labels ...Label) (v float64, ok bool) {
 	}
 }
 
-// HistogramSnapshot is a point-in-time quantile summary of one
-// histogram series, the form JSON views (mobiserve /stats, mobiload
-// -verbose) surface so operators can read latency without a Prometheus
-// server. Quantiles are lower bucket edges in seconds, per the
-// histogram's ~4.5% log-bucket resolution.
+// HistogramSnapshot is a point-in-time summary of one histogram
+// series, the form JSON views (mobiserve /stats, mobiload -verbose)
+// surface so operators can read latency without a Prometheus server.
+// Quantiles are lower bucket edges in seconds, per the histogram's
+// ~4.5% log-bucket resolution.
+//
+// Beyond the quantiles, a snapshot carries the exact mergeable state —
+// the integer nanosecond sum and the sparse populated buckets — so a
+// snapshot can be folded back into a Histogram with MergeSnapshot
+// without losing fidelity. That is the wire contract the multi-node
+// router's aggregated /stats relies on: each worker serializes its
+// histograms, the router merges the snapshots, and the fleet-wide
+// quantiles are bit-identical to a single process observing the same
+// values.
 type HistogramSnapshot struct {
 	Name   string  `json:"name"`
 	Labels string  `json:"labels,omitempty"` // canonical signature, e.g. `route="/ingest"`
@@ -236,6 +245,21 @@ type HistogramSnapshot struct {
 	P50    float64 `json:"p50_s"`
 	P95    float64 `json:"p95_s"`
 	P99    float64 `json:"p99_s"`
+
+	// SumNs is the exact integer nanosecond sum (Sum is its lossy
+	// float64-seconds rendering); Bins lists the populated buckets of
+	// the histogram's fixed log-spaced geometry. Together with Count
+	// they are the histogram's full state.
+	SumNs uint64         `json:"sum_ns,omitempty"`
+	Bins  []HistogramBin `json:"bins,omitempty"`
+}
+
+// HistogramBin is one populated bucket in a HistogramSnapshot: the bin
+// index within the histogram's fixed 1025-slot log-spaced geometry and
+// the number of observations it holds.
+type HistogramBin struct {
+	Bin   int    `json:"bin"`
+	Count uint64 `json:"count"`
 }
 
 // HistogramSnapshots summarizes every histogram series in the
@@ -270,15 +294,7 @@ func (r *Registry) HistogramSnapshots() []HistogramSnapshot {
 	})
 	out := make([]HistogramSnapshot, 0, len(hists))
 	for _, e := range hists {
-		out = append(out, HistogramSnapshot{
-			Name:   e.name,
-			Labels: e.sig,
-			Count:  e.h.Count(),
-			Sum:    e.h.Sum(),
-			P50:    e.h.Quantile(0.50),
-			P95:    e.h.Quantile(0.95),
-			P99:    e.h.Quantile(0.99),
-		})
+		out = append(out, e.h.Snapshot(e.name, e.sig))
 	}
 	return out
 }

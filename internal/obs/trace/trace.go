@@ -114,7 +114,8 @@ func itoa(v int64) string {
 }
 
 // Key hashes a string into the uint64 domain DeriveID mixes over
-// (FNV-1a, the same routing hash the stream engine shards by).
+// (FNV-1a, the same base hash the placement contract in internal/rng
+// feeds through its splitmix64 finalizer to pick shards and nodes).
 func Key(s string) uint64 {
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	h := uint64(offset64)

@@ -1,6 +1,14 @@
 // Package rng holds the tiny deterministic mixing primitives shared by
 // the seeded shuffles and per-trace seed derivations, so every consumer
 // uses the exact same splitmix64 finalizer.
+//
+// It also carries the repository's placement contract: Shard(key, n) =
+// Mix(Hash64(key)) % n, with Hash64 an allocation-free 64-bit FNV-1a.
+// The stream engine's shards, the store's segment placement, the load
+// driver's worker partition, and the multi-node router's node
+// assignment all call this one helper, which is what makes an N-node
+// fleet's merged output provably identical to a single node's: a
+// user's points land in the same shard wherever they are ingested.
 package rng
 
 // Gamma is the splitmix64 increment (golden-ratio constant).

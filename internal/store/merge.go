@@ -1,0 +1,41 @@
+package store
+
+import (
+	"context"
+	"fmt"
+)
+
+// MergeStats reports what a Merge pass did across all sources.
+type MergeStats struct {
+	Sources  int   // stores merged
+	Users    int   // traces written
+	Points   int64 // points written (after microsecond dedup)
+	BlocksIn int64 // blocks read across all sources
+}
+
+// Merge streams the contents of each source store into w, in source
+// order — the fleet-join operation behind `mobistore merge`. Each
+// source is compacted into w trace-by-trace (Compact), so merging
+// never materializes a dataset: memory stays bounded by the users in
+// flight, however many nodes' sinks are being joined.
+//
+// Sources must hold disjoint user sets. Per-node stores written behind
+// the router satisfy this by construction — the placement contract
+// (rng.Shard) sends every user to exactly one node — so a duplicate
+// user means the inputs are not a partition of one dataset, and the
+// error (wrapping ErrDuplicateUser, naming the user) says which
+// assumption broke rather than silently merging two users' points.
+func Merge(ctx context.Context, srcs []*Store, w *Writer) (MergeStats, error) {
+	var ms MergeStats
+	for i, s := range srcs {
+		cs, err := Compact(ctx, s, w)
+		if err != nil {
+			return MergeStats{}, fmt.Errorf("store: merge source %d: %w", i, err)
+		}
+		ms.Sources++
+		ms.Users += cs.Users
+		ms.Points += cs.Points
+		ms.BlocksIn += cs.BlocksIn
+	}
+	return ms, nil
+}

@@ -229,16 +229,11 @@ type SegmentInfo struct {
 	Points int `json:"points"`
 }
 
-// shardOf routes a user to a segment: FNV-1a of the user identifier
-// pushed through the splitmix64 finalizer, mod the shard count.
+// shardOf routes a user to a segment via the system-wide placement
+// contract (rng.Shard): FNV-1a of the user identifier pushed through
+// the splitmix64 finalizer, mod the shard count.
 func shardOf(user string, shards int) int {
-	const offset64, prime64 = 14695981039346656037, 1099511628211
-	h := uint64(offset64)
-	for i := 0; i < len(user); i++ {
-		h ^= uint64(user[i])
-		h *= prime64
-	}
-	return int(rng.Mix(h) % uint64(shards))
+	return rng.Shard(user, shards)
 }
 
 // quantize converts degrees to fixed-point CoordScale units.

@@ -12,6 +12,7 @@ import (
 	"mobipriv/internal/obs"
 	otrace "mobipriv/internal/obs/trace"
 	"mobipriv/internal/par"
+	"mobipriv/internal/rng"
 )
 
 // ErrClosed reports a Push or Flush against an engine that has been
@@ -421,16 +422,13 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 	}
 }
 
-// shardOf is inline FNV-1a (identical to hash/fnv) so routing a point
-// costs no allocation on the ingest hot path.
+// shardOf routes a user to a shard via the system-wide placement
+// contract (rng.Shard): splitmix64-mixed FNV-1a mod the shard count —
+// the same function the .mstore format and the multi-node router pin
+// users with, so in-process sharding and cross-process routing can
+// never drift apart.
 func (e *Engine) shardOf(user string) int {
-	const offset64, prime64 = 14695981039346656037, 1099511628211
-	h := uint64(offset64)
-	for i := 0; i < len(user); i++ {
-		h ^= uint64(user[i])
-		h *= prime64
-	}
-	return int(h % uint64(len(e.shards)))
+	return rng.Shard(user, len(e.shards))
 }
 
 // send enqueues one message, blocking until the shard accepts it. The

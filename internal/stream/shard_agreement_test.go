@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mobipriv/internal/rng"
+)
+
+// TestShardAgreesWithPlacementContract asserts the engine's in-process
+// shard assignment and the fleet-level node assignment (both rng.Shard)
+// agree for 10k random users at several partition counts. This is the
+// property that makes a multi-node fleet byte-equivalent to a single
+// node: a user lands on worker rng.Shard(user, nodes) and, inside any
+// worker, on shard rng.Shard(user, shards) — the same contract at both
+// layers, so placement can never drift between the router and the
+// engine.
+func TestShardAgreesWithPlacementContract(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	users := make([]string, 10000)
+	for i := range users {
+		switch i % 3 {
+		case 0:
+			users[i] = fmt.Sprintf("u%d", i)
+		case 1:
+			users[i] = fmt.Sprintf("user-%d-%d", r.Uint64(), i)
+		default:
+			b := make([]byte, 1+r.Intn(24))
+			for j := range b {
+				b[j] = byte(32 + r.Intn(95))
+			}
+			users[i] = string(b)
+		}
+	}
+	for _, shards := range []int{1, 2, 3, 8, 16} {
+		e, stop := startEngine(t, Config{Shards: shards},
+			func(user string) Mechanism { return Passthrough{}.New(user) })
+		for _, u := range users {
+			if got, want := e.shardOf(u), rng.Shard(u, shards); got != want {
+				t.Fatalf("shards=%d user=%q: engine shard %d, placement contract says %d", shards, u, got, want)
+			}
+		}
+		stop()
+	}
+}
